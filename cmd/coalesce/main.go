@@ -1,0 +1,196 @@
+// Command coalesce compiles a kernel-language source file, converts it out
+// of SSA form with a chosen algorithm, and prints the rewritten IR and
+// statistics.
+//
+// Usage:
+//
+//	coalesce [flags] file.kl
+//	coalesce -algo new -stats testdata/vswap.kl
+//	coalesce -algo briggs* -dump-ssa -run "1,2" kernel.kl
+//
+// Flags:
+//
+//	-algo     standard | new | briggs | briggs*   (default new)
+//	-ssa      pruned | semi | minimal             (default pruned)
+//	-dump-in  print the input IR
+//	-dump-ssa print the SSA form before destruction
+//	-stats    print conversion statistics
+//	-run      comma-separated scalar args: execute before/after and compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/ifgraph"
+	"fastcoalesce/internal/interp"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/opt"
+	"fastcoalesce/internal/ssa"
+)
+
+func main() {
+	algo := flag.String("algo", "new", "standard | new | briggs | briggs*")
+	flavor := flag.String("ssa", "pruned", "pruned | semi | minimal")
+	dumpIn := flag.Bool("dump-in", false, "print the input IR")
+	dumpSSA := flag.Bool("dump-ssa", false, "print the SSA form")
+	stats := flag.Bool("stats", false, "print conversion statistics")
+	optimize := flag.Bool("opt", false, "run value numbering + DCE on the SSA form (new/standard only)")
+	runArgs := flag.String("run", "", "comma-separated scalar args to execute with")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: coalesce [flags] file.kl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var funcs []*ir.Func
+	if strings.HasSuffix(flag.Arg(0), ".ir") {
+		f, err := ir.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		funcs = []*ir.Func{f}
+	} else {
+		funcs, err = lang.Compile(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var fl ssa.Flavor
+	switch *flavor {
+	case "pruned":
+		fl = ssa.Pruned
+	case "semi":
+		fl = ssa.SemiPruned
+	case "minimal":
+		fl = ssa.Minimal
+	default:
+		fatal(fmt.Errorf("unknown -ssa flavor %q", *flavor))
+	}
+
+	for _, f := range funcs {
+		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string) error {
+	if dumpIn {
+		fmt.Printf("=== input %s ===\n%s\n", orig.Name, orig)
+	}
+	f := orig.Clone()
+	fold := algo == "new" || algo == "standard"
+	var ssaStats *ssa.Stats
+	if orig.CountPhis() > 0 {
+		// The input is already in SSA form (e.g. a hand-written .ir
+		// file): skip construction, just prepare for destruction.
+		if algo == "briggs" || algo == "briggs*" {
+			return fmt.Errorf("-algo %s rebuilds SSA without folding and cannot "+
+				"take SSA-form input; use new or standard", algo)
+		}
+		f.SplitCriticalEdges()
+		ssaStats = &ssa.Stats{}
+	} else {
+		ssaStats = ssa.Build(f, ssa.Options{Flavor: fl, FoldCopies: fold})
+	}
+	if optimize {
+		if !fold {
+			return fmt.Errorf("-opt requires -algo new or standard " +
+				"(φ-web joining is unsound on optimized SSA)")
+		}
+		ost := opt.Optimize(f)
+		if stats {
+			fmt.Printf("%s: opt folded=%d simplified=%d numbered=%d dce=%d rounds=%d\n",
+				f.Name, ost.Folded, ost.Simplified, ost.Numbered, ost.DeadCode, ost.Rounds)
+		}
+	}
+	if dumpSSA {
+		fmt.Printf("=== ssa %s (%v, fold=%v) ===\n%s\n", f.Name, fl, fold, f)
+	}
+
+	switch algo {
+	case "standard":
+		ds := ssa.DestructStandard(f)
+		if stats {
+			fmt.Printf("%s: φs=%d folded=%d inserted=%d temps=%d\n",
+				f.Name, ssaStats.PhisInserted, ssaStats.CopiesFolded,
+				ds.CopiesInserted, ds.TempsCreated)
+		}
+	case "new":
+		cs := core.Coalesce(f, core.Options{})
+		if stats {
+			fmt.Printf("%s: φs=%d folded=%d unions=%d filters=%v forest-splits=%d local-splits=%d rounds=%d copies=%d classes=%d\n",
+				f.Name, ssaStats.PhisInserted, ssaStats.CopiesFolded,
+				cs.InitialUnions, cs.FilterHits, cs.ForestSplits,
+				cs.LocalSplits, cs.Rounds, cs.CopiesInserted, cs.Classes)
+		}
+	case "briggs", "briggs*":
+		ifgraph.JoinPhiWebs(f)
+		depth := dom.New(f).FindLoops().Depth
+		cs := ifgraph.Coalesce(f, ifgraph.Options{Improved: algo == "briggs*", Depth: depth})
+		if stats {
+			fmt.Printf("%s: φs=%d passes=%d coalesced=%d matrix-bytes=%d\n",
+				f.Name, ssaStats.PhisInserted, len(cs.Passes),
+				cs.CopiesCoalesced, cs.TotalMatrixBytes())
+		}
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+
+	if err := f.Verify(); err != nil {
+		return err
+	}
+	fmt.Printf("=== output %s (%s): %d static copies ===\n%s\n",
+		f.Name, algo, f.CountCopies(), f)
+
+	if runArgs != "" {
+		var args []int64
+		for _, part := range strings.Split(runArgs, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return fmt.Errorf("-run: %w", err)
+			}
+			args = append(args, v)
+		}
+		arrays := make([][]int64, len(orig.ArrParams))
+		for i := range arrays {
+			arrays[i] = make([]int64, 64)
+			for j := range arrays[i] {
+				arrays[i][j] = int64(j%17 - 8)
+			}
+		}
+		want, err := interp.Run(orig, args, arrays, 100_000_000)
+		if err != nil {
+			return err
+		}
+		got, err := interp.Run(f, args, arrays, 100_000_000)
+		if err != nil {
+			return err
+		}
+		status := "MATCH"
+		if !interp.SameResult(want, got) {
+			status = "MISMATCH"
+		}
+		fmt.Printf("run(%v): original=%d rewritten=%d [%s]; dynamic copies %d -> %d\n",
+			args, want.Ret, got.Ret, status, want.Counts.Copies, got.Counts.Copies)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coalesce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+// Package fastcoalesce is a from-scratch Go reproduction of
+//
+//	Budimlić, Cooper, Harvey, Kennedy, Oberg, Reeves:
+//	"Fast Copy Coalescing and Live-Range Identification", PLDI 2002.
+//
+// The paper's contribution — coalescing the copies implied by SSA φ-nodes
+// in O(n α(n)) time using liveness and dominance instead of an
+// interference graph — lives in internal/core, built on the dominance
+// forest of internal/domforest. The baselines it is evaluated against
+// (naive φ instantiation, and the Chaitin/Briggs interference-graph
+// coalescer in both its classical and §4.1-improved forms) live in
+// internal/ssa and internal/ifgraph.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for measured results against
+// the paper's tables. The benchmarks in bench_test.go regenerate every
+// table; `go run ./cmd/experiments` prints them in the paper's layout.
+package fastcoalesce

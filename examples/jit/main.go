@@ -1,0 +1,83 @@
+// JIT scenario: the paper's pitch is that coalescing without an
+// interference graph makes graph-coloring-quality copy elimination cheap
+// enough for just-in-time compilers (§1, §5). This example plays a JIT
+// compiling a stream of functions — the workload suite plus generated
+// kernels — and compares total conversion latency and result quality for
+// the three contenders.
+//
+//	go run ./examples/jit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fastcoalesce/internal/bench"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+)
+
+func main() {
+	// The compilation stream: every suite kernel plus 60 generated ones.
+	var funcs []*ir.Func
+	for _, w := range bench.Workloads() {
+		f, err := bench.CompileWorkload(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		funcs = append(funcs, f)
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		w := bench.Generate(seed, bench.GenConfig{Stmts: 120, MaxDepth: 4, Scalars: 3, Arrays: 2})
+		f, err := lang.CompileOne(w.Src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		funcs = append(funcs, f)
+	}
+	fmt.Printf("JIT stream: %d functions, %d blocks, %d instructions\n\n",
+		len(funcs), totalBlocks(funcs), totalInstrs(funcs))
+
+	type tally struct {
+		dur    time.Duration
+		copies int
+	}
+	results := map[bench.Algo]*tally{}
+	for _, algo := range []bench.Algo{bench.Standard, bench.New, bench.Briggs, bench.BriggsStar} {
+		t := &tally{}
+		for _, f := range funcs {
+			r := bench.RunPipeline(f, algo)
+			t.dur += r.Duration
+			t.copies += r.StaticCopies
+		}
+		results[algo] = t
+	}
+
+	fmt.Printf("%-10s %14s %14s %10s\n", "algorithm", "total time", "vs New", "copies")
+	for _, algo := range []bench.Algo{bench.Standard, bench.New, bench.Briggs, bench.BriggsStar} {
+		t := results[algo]
+		fmt.Printf("%-10s %14v %13.2fx %10d\n",
+			algo, t.dur.Round(time.Microsecond),
+			float64(t.dur)/float64(results[bench.New].dur), t.copies)
+	}
+	fmt.Println("\nThe JIT takeaway: New matches the interference-graph coalescers'")
+	fmt.Println("copy quality at a fraction of the conversion latency, while")
+	fmt.Println("Standard is fastest but floods the code with copies.")
+}
+
+func totalBlocks(fs []*ir.Func) int {
+	n := 0
+	for _, f := range fs {
+		n += f.NumBlocks()
+	}
+	return n
+}
+
+func totalInstrs(fs []*ir.Func) int {
+	n := 0
+	for _, f := range fs {
+		n += f.NumInstrs()
+	}
+	return n
+}

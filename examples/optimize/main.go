@@ -1,0 +1,70 @@
+// Optimize shows the coalescer in its intended habitat (§5): inside an
+// optimizing SSA compiler. Value numbering and dead-code elimination
+// shrink the program and rewire the values that meet at φ-nodes — after
+// which φ-connected names are no longer simple renames of one source
+// variable, and only an interference-aware destruction pass (the paper's
+// algorithm) can safely take the program out of SSA.
+//
+//	go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/interp"
+	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/opt"
+	"fastcoalesce/internal/ssa"
+)
+
+const src = `
+func kernel(n int, x []int) int {
+	var scale int = 3 * 4 - 11      // folds to 1
+	var acc int = 0
+	var dead int = n * n            // dead after optimization
+	for var i = 0; i < n; i = i + 1 {
+		var a int = x[i] * scale    // scale == 1: multiplication vanishes
+		var b int = x[i] * scale    // redundant with a
+		var t int = a + b
+		acc = acc + t / 2
+		dead = dead + t
+	}
+	return acc
+}`
+
+func main() {
+	orig, err := lang.CompileOne(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := [][]int64{{1, 2, 3, 4, 5, 6, 7, 8}}
+	want, err := interp.Run(orig, []int64{8}, inputs, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := orig.Clone()
+	st := ssa.Build(f, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+	fmt.Printf("SSA: %d instructions, %d φ-nodes\n", f.NumInstrs(), f.CountPhis())
+
+	ost := opt.Optimize(f)
+	fmt.Printf("optimized: %d instructions (folded %d, numbered %d, simplified %d, dce %d, %d rounds)\n",
+		f.NumInstrs(), ost.Folded, ost.Numbered, ost.Simplified, ost.DeadCode, ost.Rounds)
+
+	cs := core.Coalesce(f, core.Options{Dom: st.Dom})
+	fmt.Printf("coalesced: %d copies inserted, %d classes\n\n%s\n",
+		cs.CopiesInserted, cs.Classes, f)
+
+	got, err := interp.Run(f, []int64{8}, inputs, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := "ok"
+	if !interp.SameResult(want, got) {
+		status = "WRONG"
+	}
+	fmt.Printf("kernel(8, 1..8) = %d [%s]; instructions executed: %d -> %d\n",
+		got.Ret, status, want.Counts.Instrs, got.Counts.Instrs)
+}

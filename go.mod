@@ -1,0 +1,3 @@
+module fastcoalesce
+
+go 1.22

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig sizes a generated program.
+type GenConfig struct {
+	Stmts    int // approximate statement budget
+	MaxDepth int // maximum nesting depth
+	Scalars  int // scalar parameters
+	Arrays   int // array parameters
+
+	// SparseCopies suppresses bare copies and explicit swaps, modeling
+	// well-optimized input where few copy instructions survive — the
+	// regime in which the full interference graph is most wasteful
+	// (Table 1's orders-of-magnitude memory gap).
+	SparseCopies bool
+}
+
+// DefaultGenConfig is a medium-sized program.
+var DefaultGenConfig = GenConfig{Stmts: 40, MaxDepth: 3, Scalars: 2, Arrays: 1}
+
+// Generate produces a random but always-terminating kernel-language
+// program plus inputs, deterministically from the seed. Loops are bounded
+// counted loops; conditions may contain short-circuit operators; swaps and
+// copy chains are generated explicitly because they are the shapes the
+// coalescers disagree on.
+func Generate(seed int64, cfg GenConfig) Workload {
+	g := &generator{
+		rng: rand.New(rand.NewSource(seed)),
+		cfg: cfg,
+	}
+	src := g.program(seed)
+	args := make([]int64, cfg.Scalars)
+	for i := range args {
+		args[i] = int64(g.rng.Intn(41) - 20)
+	}
+	lens := make([]int, cfg.Arrays)
+	for i := range lens {
+		lens[i] = 8 + g.rng.Intn(24)
+	}
+	return Workload{
+		Name:      fmt.Sprintf("gen%d", seed),
+		Src:       src,
+		Args:      args,
+		ArrayLens: lens,
+	}
+}
+
+type generator struct {
+	rng       *rand.Rand
+	cfg       GenConfig
+	sb        strings.Builder
+	indent    int
+	scalars   []string // in-scope scalar names (flat; generated names unique)
+	arrays    []string
+	budget    int
+	nextVar   int
+	nextCtr   int
+	loopDepth int
+}
+
+func (g *generator) line(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *generator) program(seed int64) string {
+	var params []string
+	for i := 0; i < g.cfg.Scalars; i++ {
+		name := fmt.Sprintf("p%d", i)
+		g.scalars = append(g.scalars, name)
+		params = append(params, name+" int")
+	}
+	for i := 0; i < g.cfg.Arrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		g.arrays = append(g.arrays, name)
+		params = append(params, name+"[] int")
+	}
+	g.line("func gen%d(%s) int {", seed, strings.Join(params, ", "))
+	g.indent++
+	// A few worked variables so early statements have targets.
+	for i := 0; i < 3; i++ {
+		g.declVar()
+	}
+	g.budget = g.cfg.Stmts
+	for g.budget > 0 {
+		g.stmt(0)
+	}
+	g.line("return %s", g.liveSum())
+	g.indent--
+	g.line("}")
+	return g.sb.String()
+}
+
+// liveSum folds every scalar into the return value so they all stay live
+// to the end — maximal pressure on the coalescers.
+func (g *generator) liveSum() string {
+	parts := make([]string, len(g.scalars))
+	copy(parts, g.scalars)
+	return strings.Join(parts, " + ")
+}
+
+func (g *generator) declVar() string {
+	name := fmt.Sprintf("v%d", g.nextVar)
+	g.nextVar++
+	if g.cfg.SparseCopies {
+		// Force an arithmetic initializer so the declaration lowers to an
+		// operation, not a copy.
+		g.line("var %s int = %s + %d", name, g.expr(1), g.rng.Intn(9))
+	} else {
+		g.line("var %s int = %s", name, g.expr(1))
+	}
+	g.scalars = append(g.scalars, name)
+	return name
+}
+
+func (g *generator) scalar() string {
+	return g.scalars[g.rng.Intn(len(g.scalars))]
+}
+
+// target picks an assignable scalar: anything but a loop counter (counters
+// are named "i<k>"; writing one could make a loop non-terminating).
+func (g *generator) target() string {
+	for tries := 0; tries < 8; tries++ {
+		s := g.scalar()
+		if !strings.HasPrefix(s, "i") {
+			return s
+		}
+	}
+	return g.declVar()
+}
+
+func (g *generator) stmts(depth int) {
+	n := 2 + g.rng.Intn(4)
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *generator) stmt(depth int) {
+	g.budget--
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < 12:
+		g.declVar()
+	case roll < 40:
+		// plain assignment; occasionally a bare copy (the coalescers' prey)
+		if !g.cfg.SparseCopies && g.rng.Intn(3) == 0 {
+			g.line("%s = %s", g.target(), g.scalar())
+		} else {
+			g.line("%s = %s", g.target(), g.expr(2))
+		}
+	case roll < 50 && len(g.arrays) > 0:
+		arr := g.arrays[g.rng.Intn(len(g.arrays))]
+		g.line("%s[%s] = %s", arr, g.expr(1), g.expr(2))
+	case roll < 58:
+		if g.cfg.SparseCopies {
+			g.line("%s = %s + 1", g.target(), g.scalar())
+			return
+		}
+		// explicit swap via temporary (the swap problem)
+		a, b := g.target(), g.target()
+		t := fmt.Sprintf("t%d", g.nextVar)
+		g.nextVar++
+		g.line("var %s int = %s", t, a)
+		g.line("%s = %s", a, b)
+		g.line("%s = %s", b, t)
+		g.scalars = append(g.scalars, t)
+	case roll < 62 && g.loopDepth > 0 && depth < g.cfg.MaxDepth:
+		// guarded break/continue (multi-exit loops stress liveness)
+		kw := "break"
+		if g.rng.Intn(2) == 0 {
+			kw = "continue"
+		}
+		g.line("if %s {", g.cond())
+		g.indent++
+		g.line("%s", kw)
+		g.indent--
+		g.line("}")
+	case roll < 80 && depth < g.cfg.MaxDepth:
+		g.ifStmt(depth)
+	case depth < g.cfg.MaxDepth:
+		g.forStmt(depth)
+	default:
+		g.line("%s = %s", g.target(), g.expr(2))
+	}
+}
+
+func (g *generator) ifStmt(depth int) {
+	g.line("if %s {", g.cond())
+	g.indent++
+	nVars := len(g.scalars)
+	g.stmts(depth + 1)
+	g.scalars = g.scalars[:nVars] // names declared inside go out of scope
+	g.indent--
+	if g.rng.Intn(2) == 0 {
+		g.line("} else {")
+		g.indent++
+		nVars := len(g.scalars)
+		g.stmts(depth + 1)
+		g.scalars = g.scalars[:nVars]
+		g.indent--
+	}
+	g.line("}")
+}
+
+func (g *generator) forStmt(depth int) {
+	ctr := fmt.Sprintf("i%d", g.nextCtr)
+	g.nextCtr++
+	bound := 2 + g.rng.Intn(5)
+	g.line("for var %s = 0; %s < %d; %s = %s + 1 {", ctr, ctr, bound, ctr, ctr)
+	g.indent++
+	g.scalars = append(g.scalars, ctr)
+	nVars := len(g.scalars)
+	g.loopDepth++
+	g.stmts(depth + 1)
+	g.loopDepth--
+	g.scalars = g.scalars[:nVars]
+	g.indent--
+	g.line("}")
+	g.scalars = g.scalars[:len(g.scalars)-1] // counter out of scope
+}
+
+func (g *generator) cond() string {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	simple := func() string {
+		return fmt.Sprintf("%s %s %s", g.expr(1), ops[g.rng.Intn(len(ops))], g.expr(1))
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s && %s", simple(), simple())
+	case 1:
+		return fmt.Sprintf("%s || %s", simple(), simple())
+	default:
+		return simple()
+	}
+}
+
+func (g *generator) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(21)-10)
+		default:
+			return g.scalar()
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		if len(g.arrays) > 0 {
+			arr := g.arrays[g.rng.Intn(len(g.arrays))]
+			return fmt.Sprintf("%s[%s]", arr, g.expr(depth-1))
+		}
+		return g.scalar()
+	case 1:
+		return fmt.Sprintf("-(%s)", g.expr(depth-1))
+	case 2:
+		if len(g.arrays) > 0 {
+			return fmt.Sprintf("len(%s)", g.arrays[g.rng.Intn(len(g.arrays))])
+		}
+		return g.scalar()
+	default:
+		ops := []string{"+", "-", "*", "/", "%"}
+		op := ops[g.rng.Intn(len(ops))]
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	}
+}

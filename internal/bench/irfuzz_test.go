@@ -1,0 +1,167 @@
+package bench
+
+// IR-level fuzzing: random CFGs built directly at the IR layer, including
+// irreducible shapes the structured language can never produce. The
+// theory of §2 (strictness, dominance, Theorem 2.1/2.2) does not assume
+// reducibility, so the coalescer must survive these too.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/interp"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/ssa"
+)
+
+// randomIRFunc builds a random function over nb blocks and nv variables.
+// Edges are mostly forward (always at least one path to the return
+// block), with occasional back and cross edges, so irreducible loops
+// occur. Every loop can spin; the interpreter's fuel bounds the run.
+func randomIRFunc(rng *rand.Rand, nb, nv int) *ir.Func {
+	f := ir.NewFunc("irfuzz")
+	arr := f.NewArr("mem")
+	f.ArrParams = []ir.ArrID{arr}
+	vars := make([]ir.VarID, nv)
+	for i := range vars {
+		vars[i] = f.NewVar("")
+	}
+	p0 := f.NewVar("p0")
+	f.Params = []ir.VarID{p0}
+
+	for len(f.Blocks) < nb {
+		f.NewBlock()
+	}
+	pick := func() ir.VarID { return vars[rng.Intn(nv)] }
+
+	// Entry defines the parameter and seeds a few variables.
+	entry := f.Blocks[0]
+	entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpParam, Def: p0, Const: 0})
+	for i := 0; i < 3 && i < nv; i++ {
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpConst, Def: vars[i], Const: int64(rng.Intn(9) - 4)})
+	}
+
+	binops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpCmpLT, ir.OpCmpEQ, ir.OpCmpGT}
+	for bi, b := range f.Blocks {
+		// Block body: a few ops, copies, and array traffic.
+		n := 1 + rng.Intn(4)
+		for k := 0; k < n; k++ {
+			switch rng.Intn(6) {
+			case 0:
+				b.Instrs = append(b.Instrs,
+					ir.Instr{Op: ir.OpCopy, Def: pick(), Args: []ir.VarID{pick()}})
+			case 1:
+				b.Instrs = append(b.Instrs,
+					ir.Instr{Op: ir.OpConst, Def: pick(), Const: int64(rng.Intn(21) - 10)})
+			case 2:
+				b.Instrs = append(b.Instrs,
+					ir.Instr{Op: ir.OpALoad, Def: pick(), Args: []ir.VarID{pick()}, Arr: arr})
+			case 3:
+				b.Instrs = append(b.Instrs,
+					ir.Instr{Op: ir.OpAStore, Def: ir.NoVar, Args: []ir.VarID{pick(), pick()}, Arr: arr})
+			default:
+				op := binops[rng.Intn(len(binops))]
+				b.Instrs = append(b.Instrs,
+					ir.Instr{Op: op, Def: pick(), Args: []ir.VarID{pick(), pick()}})
+			}
+		}
+
+		// Terminator: last block returns; others branch.
+		if bi == nb-1 {
+			b.Instrs = append(b.Instrs,
+				ir.Instr{Op: ir.OpRet, Def: ir.NoVar, Args: []ir.VarID{pick()}})
+			continue
+		}
+		target := func() ir.BlockID {
+			r := rng.Intn(100)
+			switch {
+			case r < 70: // forward, guarantees progress on most paths
+				return ir.BlockID(bi + 1 + rng.Intn(nb-bi-1))
+			case r < 85 && bi > 0: // back or cross edge (irreducibility);
+				// never target the entry (it must stay predecessor-free)
+				return ir.BlockID(1 + rng.Intn(bi))
+			default:
+				return ir.BlockID(bi + 1)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			f.AddEdge(ir.BlockID(bi), target())
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpJmp, Def: ir.NoVar})
+		} else {
+			t1, t2 := target(), target()
+			f.AddEdge(ir.BlockID(bi), t1)
+			f.AddEdge(ir.BlockID(bi), t2)
+			b.Instrs = append(b.Instrs,
+				ir.Instr{Op: ir.OpBr, Def: ir.NoVar, Args: []ir.VarID{pick()}})
+		}
+	}
+	f.RemoveUnreachable()
+	return f
+}
+
+func TestIRFuzzIrreducible(t *testing.T) {
+	const fuel = 200_000
+	seeds := 300
+	if testing.Short() {
+		seeds = 60
+	}
+	ran, skipped := 0, 0
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) * 7919))
+		f := randomIRFunc(rng, 4+rng.Intn(12), 3+rng.Intn(6))
+		if err := f.Verify(); err != nil {
+			t.Fatalf("seed %d: generated function invalid: %v", seed, err)
+		}
+		mem := [][]int64{{5, -3, 11, 0, 2, 9, -7, 1}}
+		args := []int64{int64(seed%7 - 3)}
+		want, err := interp.Run(f, args, mem, fuel)
+		if errors.Is(err, interp.ErrFuel) {
+			skipped++ // non-terminating random loop; nothing to compare
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ran++
+
+		for name, convert := range map[string]func(*ir.Func){
+			"standard": func(g *ir.Func) {
+				ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+				ssa.DestructStandard(g)
+			},
+			"new": func(g *ir.Func) {
+				st := ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+				core.Coalesce(g, core.Options{Dom: st.Dom})
+			},
+			"new-nodesplit": func(g *ir.Func) {
+				ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+				core.Coalesce(g, core.Options{NodeSplit: true, NoDepthWeight: true})
+			},
+			"new-minimal": func(g *ir.Func) {
+				ssa.Build(g, ssa.Options{Flavor: ssa.Minimal, FoldCopies: true})
+				core.Coalesce(g, core.Options{})
+			},
+		} {
+			g := f.Clone()
+			convert(g)
+			if err := g.Verify(); err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, name, err, g)
+			}
+			got, err := interp.Run(g, args, mem, 10*fuel)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\noriginal:\n%s\nrewritten:\n%s", seed, name, err, f, g)
+			}
+			if !interp.SameResult(want, got) {
+				t.Fatalf("seed %d %s: got %d want %d\noriginal:\n%s\nrewritten:\n%s",
+					seed, name, got.Ret, want.Ret, f, g)
+			}
+		}
+	}
+	if ran < seeds/2 {
+		t.Fatalf("only %d/%d seeds terminated (%d skipped) — generator too loopy", ran, seeds, skipped)
+	}
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/ifgraph"
+	"fastcoalesce/internal/interp"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/ssa"
+)
+
+// Algo selects one of the four SSA-to-CFG conversion pipelines the paper
+// compares (§4): the nomenclature follows the paper.
+type Algo int
+
+// The pipelines.
+const (
+	// Standard is the Briggs et al. φ-node instantiation that eliminates
+	// no copies.
+	Standard Algo = iota
+	// New is the paper's algorithm (internal/core).
+	New
+	// Briggs is the Chaitin/Briggs interference-graph coalescer over the
+	// full live-range namespace.
+	Briggs
+	// BriggsStar is the §4.1 improved interference-graph coalescer
+	// (copy-involved names only).
+	BriggsStar
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case Standard:
+		return "Standard"
+	case New:
+		return "New"
+	case Briggs:
+		return "Briggs"
+	case BriggsStar:
+		return "Briggs*"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// Algos lists all pipelines in table order.
+var Algos = []Algo{Standard, New, Briggs, BriggsStar}
+
+// PipelineResult is the outcome of compiling one function with one
+// pipeline.
+type PipelineResult struct {
+	Algo     Algo
+	Func     *ir.Func // the rewritten, φ-free function
+	Duration time.Duration
+	// PhaseDuration is the SSA-destruction phase alone (coalescing and
+	// copy insertion), excluding SSA construction and liveness shared by
+	// all pipelines — the span the paper's O(n α(n)) claim covers.
+	PhaseDuration time.Duration
+	AllocBytes    int64 // heap allocated between SSA build and final rewrite
+	StaticCopies  int
+	SSAStats      *ssa.Stats
+	CoreStats     *core.Stats            // New only
+	GraphStats    *ifgraph.CoalesceStats // Briggs/Briggs* only
+}
+
+// RunPipeline compiles a clone of f with the chosen pipeline. Following
+// the paper, the clock starts immediately before SSA construction and
+// stops after the code is rewritten (§4.2); allocation is measured over
+// the same span.
+func RunPipeline(f *ir.Func, algo Algo) *PipelineResult {
+	g := f.Clone()
+	res := &PipelineResult{Algo: algo}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	switch algo {
+	case Standard:
+		res.SSAStats = ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+		p0 := time.Now()
+		ssa.DestructStandard(g)
+		res.PhaseDuration = time.Since(p0)
+	case New:
+		res.SSAStats = ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+		p0 := time.Now()
+		res.CoreStats = core.Coalesce(g, core.Options{Dom: res.SSAStats.Dom})
+		res.PhaseDuration = time.Since(p0)
+	case Briggs, BriggsStar:
+		res.SSAStats = ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: false})
+		p0 := time.Now()
+		ifgraph.JoinPhiWebs(g)
+		depth := dom.New(g).FindLoops().Depth
+		res.GraphStats = ifgraph.Coalesce(g, ifgraph.Options{
+			Improved: algo == BriggsStar,
+			Depth:    depth,
+		})
+		res.PhaseDuration = time.Since(p0)
+	}
+
+	res.Duration = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	res.AllocBytes = int64(ms1.TotalAlloc - ms0.TotalAlloc)
+	res.Func = g
+	res.StaticCopies = g.CountCopies()
+	return res
+}
+
+// CompileWorkload parses a workload's source.
+func CompileWorkload(w Workload) (*ir.Func, error) {
+	return lang.CompileOne(w.Src)
+}
+
+// Arrays materializes deterministic array inputs for a workload: contents
+// depend only on the workload name and index.
+func (w Workload) Arrays() [][]int64 {
+	var seed int64 = 1
+	for _, ch := range w.Name {
+		seed = seed*31 + int64(ch)
+	}
+	out := make([][]int64, len(w.ArrayLens))
+	for ai, n := range w.ArrayLens {
+		a := make([]int64, n)
+		s := seed + int64(ai)*1013
+		for i := range a {
+			s = (s*6364136223846793005 + 1442695040888963407) % (1 << 31)
+			if s < 0 {
+				s = -s
+			}
+			a[i] = s%200 - 100
+		}
+		out[ai] = a
+	}
+	return out
+}
+
+// DynamicCopies executes the rewritten function on the workload's inputs
+// and returns the number of copy instructions executed.
+func DynamicCopies(f *ir.Func, w Workload) (int64, error) {
+	res, err := interp.Run(f, w.Args, w.Arrays(), 500_000_000)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return res.Counts.Copies, nil
+}
+
+// CheckAgainstOriginal runs both the original and rewritten functions on
+// the workload inputs and verifies identical results — the correctness
+// oracle every experiment rests on.
+func CheckAgainstOriginal(orig, rewritten *ir.Func, w Workload) error {
+	want, err := interp.Run(orig, w.Args, w.Arrays(), 500_000_000)
+	if err != nil {
+		return fmt.Errorf("%s original: %w", w.Name, err)
+	}
+	got, err := interp.Run(rewritten, w.Args, w.Arrays(), 500_000_000)
+	if err != nil {
+		return fmt.Errorf("%s rewritten: %w", w.Name, err)
+	}
+	if !interp.SameResult(want, got) {
+		return fmt.Errorf("%s: rewritten code returns %d, original %d",
+			w.Name, got.Ret, want.Ret)
+	}
+	return nil
+}

@@ -1,0 +1,758 @@
+// Package bench provides the experimental harness: the kernel workload
+// suite (named after the programs in the paper's tables, which came from
+// Forsythe/Malcolm/Moler and Spec — we substitute integer kernels with the
+// same control-flow character), the four compilation pipelines under
+// comparison, a seeded random-program generator, and the code that
+// regenerates each of the paper's tables.
+package bench
+
+// Workload is one benchmark program plus the inputs its dynamic-copy
+// measurement runs on.
+type Workload struct {
+	Name      string
+	Src       string
+	Args      []int64 // scalar arguments
+	ArrayLens []int   // lengths of array arguments (contents are seeded)
+}
+
+// Workloads returns the kernel suite in deterministic order. Kernel names
+// follow the rows of the paper's Tables 1–5.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "saxpy", Src: saxpySrc, Args: []int64{400, 3}, ArrayLens: []int{400, 400}},
+		{Name: "initx", Src: initxSrc, Args: []int64{300}, ArrayLens: []int{300, 300, 300}},
+		{Name: "tomcatv", Src: tomcatvSrc, Args: []int64{28}, ArrayLens: []int{784, 784, 784, 784}},
+		{Name: "blts", Src: bltsSrc, Args: []int64{40}, ArrayLens: []int{1600, 40, 40}},
+		{Name: "buts", Src: butsSrc, Args: []int64{40}, ArrayLens: []int{1600, 40, 40}},
+		{Name: "getbx", Src: getbxSrc, Args: []int64{500, 17}, ArrayLens: []int{500, 500}},
+		{Name: "twldrv", Src: twldrvBigSrc, Args: []int64{60, 9}, ArrayLens: []int{360, 360}},
+		{Name: "twldrx", Src: twldrvSrc, Args: []int64{60, 9}, ArrayLens: []int{360, 360}},
+		{Name: "smoothx", Src: smoothxSrc, Args: []int64{250, 6}, ArrayLens: []int{250, 250}},
+		{Name: "rhs", Src: rhsSrc, Args: []int64{200}, ArrayLens: []int{200, 200, 200, 200}},
+		{Name: "parmvrx", Src: parmvrxSrc, Args: []int64{300, 50}, ArrayLens: []int{300, 300, 300}},
+		{Name: "parmovx", Src: parmovxSrc, Args: []int64{300}, ArrayLens: []int{300, 300}},
+		{Name: "parmvex", Src: parmvexSrc, Args: []int64{250, 12}, ArrayLens: []int{250, 250}},
+		{Name: "fieldx", Src: fieldxSrc, Args: []int64{240}, ArrayLens: []int{240, 240}},
+		{Name: "radfgx", Src: radfgxSrc, Args: []int64{128}, ArrayLens: []int{128, 128}},
+		{Name: "radbgx", Src: radbgxSrc, Args: []int64{128}, ArrayLens: []int{128, 128}},
+		{Name: "jacld", Src: jacldSrc, Args: []int64{32}, ArrayLens: []int{1024, 32}},
+		{Name: "fpppp", Src: fppppBigSrc, Args: []int64{35}, ArrayLens: []int{35, 35}},
+		{Name: "fppppx", Src: fppppSrc, Args: []int64{35}, ArrayLens: []int{35, 35}},
+		{Name: "advbndx", Src: advbndxSrc, Args: []int64{220}, ArrayLens: []int{220, 220}},
+		{Name: "deseco", Src: desecoSrc, Args: []int64{150, 23}, ArrayLens: []int{150}},
+		{Name: "zeroin", Src: zeroinSrc, Args: []int64{-600, 900}, ArrayLens: nil},
+		{Name: "seval", Src: sevalSrc, Args: []int64{64, 37}, ArrayLens: []int{64, 64, 64}},
+		{Name: "urand", Src: urandSrc, Args: []int64{2000, 12345}, ArrayLens: []int{64}},
+		{Name: "decomp", Src: decompSrc, Args: []int64{20}, ArrayLens: []int{400, 20}},
+		{Name: "solve", Src: solveSrc, Args: []int64{20}, ArrayLens: []int{400, 20, 20}},
+		{Name: "rkf45", Src: rkf45Src, Args: []int64{400, 2000}, ArrayLens: nil},
+		{Name: "spline", Src: splineSrc, Args: []int64{200}, ArrayLens: []int{200, 200, 200}},
+		{Name: "fmin", Src: fminSrc, Args: []int64{-4000, 5000}, ArrayLens: nil},
+	}
+}
+
+// WorkloadByName returns the named workload.
+func WorkloadByName(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+const saxpySrc = `
+func saxpy(n int, a int, x []int, y []int) int {
+	var s int = 0
+	for var i = 0; i < n; i = i + 1 {
+		y[i] = a * x[i] + y[i]
+		s = s + y[i]
+	}
+	return s
+}`
+
+const initxSrc = `
+func initx(n int, a []int, b []int, c []int) int {
+	var zero int = 0
+	var one int = 1
+	var k int = zero
+	for var i = 0; i < n; i = i + 1 {
+		a[i] = zero
+		b[i] = one
+		c[i] = i
+		k = k + one
+	}
+	var t int = k
+	k = t * 2
+	var u int = k
+	return u
+}`
+
+const tomcatvSrc = `
+func tomcatv(n int, x []int, y []int, rx []int, ry []int) int {
+	var rxm int = 0
+	var rym int = 0
+	var resid int = 0
+	var prevrx int = 0
+	var prevry int = 0
+	for var it = 0; it < 4; it = it + 1 {
+		for var j = 1; j < n - 1; j = j + 1 {
+			for var i = 1; i < n - 1; i = i + 1 {
+				var p int = j * n + i
+				var xx int = x[p+1] - x[p-1]
+				var yx int = y[p+1] - y[p-1]
+				var xy int = x[p+n] - x[p-n]
+				var yy int = y[p+n] - y[p-n]
+				var a int = (xy * xy + yy * yy) / 4
+				var b int = (xx * xx + yx * yx) / 4
+				var c int = (xx * xy + yx * yy) / 4
+				var qi int = a * (x[p+1] + x[p-1]) + b * (x[p+n] + x[p-n]) - c * (x[p+n+1] - x[p-n+1])
+				var qj int = a * (y[p+1] + y[p-1]) + b * (y[p+n] + y[p-n]) - c * (y[p+n+1] - y[p-n+1])
+				rx[p] = qi / 2 - (a + b) * x[p]
+				ry[p] = qj / 2 - (a + b) * y[p]
+				if rx[p] > rxm {
+					rxm = rx[p]
+				}
+				if ry[p] > rym {
+					rym = ry[p]
+				}
+			}
+		}
+		for var j = 1; j < n - 1; j = j + 1 {
+			for var i = 1; i < n - 1; i = i + 1 {
+				var p int = j * n + i
+				x[p] = x[p] + rx[p] / (2 * (rxm + 1))
+				y[p] = y[p] + ry[p] / (2 * (rym + 1))
+			}
+		}
+		// Residual tracking with the previous iteration's maxima kept
+		// live across the swap-like rotation below.
+		var curr int = rxm + rym
+		if curr > prevrx + prevry {
+			resid = resid + (curr - prevrx - prevry)
+		} else {
+			resid = resid - 1
+		}
+		prevrx = rxm
+		prevry = rym
+		rxm = rxm / 2
+		rym = rym / 2
+	}
+	return rxm + rym + resid + prevrx - prevry
+}`
+
+const bltsSrc = `
+func blts(n int, a []int, v []int, w []int) int {
+	// forward (lower-triangular) solve: v = inv(L) * w, integer model
+	for var i = 0; i < n; i = i + 1 {
+		var sum int = w[i]
+		for var j = 0; j < i; j = j + 1 {
+			sum = sum - a[i*n+j] * v[j]
+		}
+		var d int = a[i*n+i]
+		if d == 0 {
+			d = 1
+		}
+		v[i] = sum / d
+	}
+	var acc int = 0
+	for var i = 0; i < n; i = i + 1 {
+		acc = acc + v[i]
+	}
+	return acc
+}`
+
+const butsSrc = `
+func buts(n int, a []int, v []int, w []int) int {
+	// backward (upper-triangular) solve
+	for var i = n - 1; i >= 0; i = i - 1 {
+		var sum int = w[i]
+		for var j = i + 1; j < n; j = j + 1 {
+			sum = sum - a[i*n+j] * v[j]
+		}
+		var d int = a[i*n+i]
+		if d == 0 {
+			d = 1
+		}
+		v[i] = sum / d
+	}
+	var acc int = 0
+	for var i = 0; i < n; i = i + 1 {
+		acc = acc + v[i]
+	}
+	return acc
+}`
+
+const getbxSrc = `
+func getbx(n int, key int, tab []int, out []int) int {
+	var hits int = 0
+	var last int = -1
+	for var i = 0; i < n; i = i + 1 {
+		var v int = tab[i]
+		if v % 16 == key % 16 {
+			out[hits] = v
+			last = i
+			hits = hits + 1
+		} else if v < 0 {
+			out[n - 1] = v
+			last = -last
+		}
+	}
+	if last < 0 {
+		last = -last
+	}
+	return hits * 1000 + last
+}`
+
+const twldrvSrc = `
+func twldrv(n int, steps int, u []int, f []int) int {
+	// Rotating filter state: a three-register software pipeline whose φ
+	// webs genuinely interfere (the coalescers must keep some copies).
+	var s0 int = 1
+	var s1 int = 2
+	var s2 int = 3
+	for var w = 0; w < n; w = w + 1 {
+		var nxt int = (s0 + 2 * s1 - s2) / 2 + f[w]
+		s0 = s1
+		s1 = s2
+		s2 = nxt
+		if s2 > 500 {
+			s2 = s2 - s0
+		} else if s2 < -500 {
+			s2 = s2 + s1
+		}
+	}
+	// Time-stepped wave driver: the largest routine in the suite, with
+	// several loop nests, swap patterns, and flag-driven control flow.
+	var t int = 0
+	var energy int = 0
+	var flip int = 0
+	for var s = 0; s < steps; s = s + 1 {
+		var prev int = u[0]
+		for var i = 1; i < n * 6 - 1; i = i + 1 {
+			var cur int = u[i]
+			var lap int = u[i+1] - 2 * cur + prev
+			var drive int = f[i] / (s + 1)
+			var nxt int = cur + lap / 4 + drive
+			if nxt > 1000 {
+				nxt = 1000
+			} else if nxt < -1000 {
+				nxt = -1000
+			}
+			u[i] = nxt
+			prev = cur
+		}
+		if flip == 0 {
+			flip = 1
+			var e int = 0
+			for var i = 0; i < n * 6; i = i + 1 {
+				e = e + u[i] * u[i] / 64
+			}
+			energy = e
+		} else {
+			flip = 0
+			var lo int = 0
+			var hi int = n * 6 - 1
+			while lo < hi {
+				var a int = u[lo]
+				var b int = u[hi]
+				if a > b {
+					u[lo] = b
+					u[hi] = a
+				}
+				lo = lo + 1
+				hi = hi - 1
+			}
+		}
+		t = t + energy % 97
+	}
+	// Damped relaxation sweeps with alternating direction, then a final
+	// windowed maximum with a rotating window (more φ pressure).
+	var dir int = 1
+	for var sweep = 0; sweep < steps; sweep = sweep + 1 {
+		if dir > 0 {
+			for var i = 1; i < n * 6 - 1; i = i + 1 {
+				u[i] = (u[i-1] + u[i] * 2 + u[i+1]) / 4
+			}
+			dir = -1
+		} else {
+			for var i = n * 6 - 2; i >= 1; i = i - 1 {
+				u[i] = (u[i+1] + u[i] * 2 + u[i-1]) / 4
+			}
+			dir = 1
+		}
+	}
+	var w0 int = u[0]
+	var w1 int = u[1]
+	var w2 int = u[2]
+	var best int = w0 + w1 + w2
+	for var i = 3; i < n * 6; i = i + 1 {
+		w0 = w1
+		w1 = w2
+		w2 = u[i]
+		var cand int = w0 + w1 + w2
+		if cand > best {
+			best = cand
+		}
+	}
+	return t + energy + best + s0 + s1 + s2 + dir
+}`
+
+const smoothxSrc = `
+func smoothx(n int, passes int, x []int, tmp []int) int {
+	for var p = 0; p < passes; p = p + 1 {
+		for var i = 1; i < n - 1; i = i + 1 {
+			tmp[i] = (x[i-1] + 2 * x[i] + x[i+1]) / 4
+		}
+		for var i = 1; i < n - 1; i = i + 1 {
+			x[i] = tmp[i]
+		}
+	}
+	var s int = 0
+	for var i = 0; i < n; i = i + 1 {
+		s = s + x[i]
+	}
+	return s
+}`
+
+const rhsSrc = `
+func rhs(n int, q []int, flux []int, r []int, s []int) int {
+	for var i = 0; i < n; i = i + 1 {
+		flux[i] = q[i] * q[i] / 8 + q[i]
+	}
+	for var i = 1; i < n - 1; i = i + 1 {
+		r[i] = flux[i+1] - flux[i-1]
+	}
+	for var i = 1; i < n - 1; i = i + 1 {
+		s[i] = r[i] - (q[i+1] - 2 * q[i] + q[i-1]) / 2
+	}
+	var acc int = 0
+	for var i = 0; i < n; i = i + 1 {
+		acc = acc + s[i]
+	}
+	return acc
+}`
+
+const parmvrxSrc = `
+func parmvrx(n int, vlim int, pos []int, vel []int, acc []int) int {
+	var moved int = 0
+	for var i = 0; i < n; i = i + 1 {
+		var v int = vel[i] + acc[i] / 2
+		if v > vlim {
+			v = vlim
+		} else if v < -vlim {
+			v = -vlim
+		}
+		var p int = pos[i] + v
+		if p < 0 {
+			p = -p
+			v = -v
+		} else if p >= 4096 {
+			p = 8191 - p
+			v = -v
+		}
+		if p != pos[i] {
+			moved = moved + 1
+		}
+		pos[i] = p
+		vel[i] = v
+	}
+	return moved
+}`
+
+const parmovxSrc = `
+func parmovx(n int, pos []int, dst []int) int {
+	// compacting move: stable partition of even values to the front
+	var k int = 0
+	for var i = 0; i < n; i = i + 1 {
+		var v int = pos[i]
+		if v % 2 == 0 {
+			dst[k] = v
+			k = k + 1
+		}
+	}
+	var j int = k
+	for var i = 0; i < n; i = i + 1 {
+		var v int = pos[i]
+		if v % 2 != 0 {
+			dst[j] = v
+			j = j + 1
+		}
+	}
+	return k
+}`
+
+const parmvexSrc = `
+func parmvex(n int, e int, pos []int, vel []int) int {
+	var swaps int = 0
+	for var i = 0; i + 1 < n; i = i + 2 {
+		var a int = pos[i]
+		var b int = pos[i+1]
+		if a * e > b {
+			pos[i] = b
+			pos[i+1] = a
+			var va int = vel[i]
+			vel[i] = vel[i+1]
+			vel[i+1] = va
+			swaps = swaps + 1
+		}
+	}
+	return swaps
+}`
+
+const fieldxSrc = `
+func fieldx(n int, e []int, h []int) int {
+	for var i = 1; i < n; i = i + 1 {
+		h[i] = h[i] + (e[i] - e[i-1]) / 2
+	}
+	for var i = 0; i < n - 1; i = i + 1 {
+		e[i] = e[i] + (h[i+1] - h[i]) / 2
+	}
+	var s int = 0
+	for var i = 0; i < n; i = i + 1 {
+		s = s + e[i] * h[i] / 16
+	}
+	return s
+}`
+
+const radfgxSrc = `
+func radfgx(n int, re []int, im []int) int {
+	// radix-2 forward butterfly sweep (integer model)
+	var stride int = 1
+	while stride < n {
+		for var base = 0; base < n; base = base + 2 * stride {
+			for var k = 0; k < stride; k = k + 1 {
+				var i int = base + k
+				var j int = i + stride
+				if j < n {
+					var ar int = re[i]
+					var ai int = im[i]
+					var br int = re[j]
+					var bi int = im[j]
+					re[i] = ar + br
+					im[i] = ai + bi
+					re[j] = ar - br
+					im[j] = ai - bi
+				}
+			}
+		}
+		stride = stride * 2
+	}
+	return re[0] + im[0]
+}`
+
+const radbgxSrc = `
+func radbgx(n int, re []int, im []int) int {
+	// radix-2 backward sweep with scaling
+	var stride int = n / 2
+	while stride >= 1 {
+		for var base = 0; base < n; base = base + 2 * stride {
+			for var k = 0; k < stride; k = k + 1 {
+				var i int = base + k
+				var j int = i + stride
+				if j < n {
+					var ar int = re[i]
+					var br int = re[j]
+					re[i] = (ar + br) / 2
+					re[j] = (ar - br) / 2
+					var ai int = im[i]
+					var bi int = im[j]
+					im[i] = (ai + bi) / 2
+					im[j] = (ai - bi) / 2
+				}
+			}
+		}
+		stride = stride / 2
+	}
+	return re[0] - im[0]
+}`
+
+const jacldSrc = `
+func jacld(n int, a []int, d []int) int {
+	for var i = 0; i < n; i = i + 1 {
+		var r0 int = d[i]
+		var r1 int = r0 * 2 + 1
+		var r2 int = r1 * r0 - 3
+		var r3 int = r2 / (r1 + 1)
+		var r4 int = r3 + r0
+		for var j = 0; j < n; j = j + 1 {
+			var t int = a[i*n+j]
+			var u int = t * r1 - r2
+			var v int = u / (r3 + 2)
+			a[i*n+j] = v + r4 % 7
+		}
+		d[i] = r4
+	}
+	// Partial pivoting pass: find the max |d| suffix element and swap it
+	// to the front, n times (selection-sort shape, scalar swap per step).
+	for var i = 0; i < n - 1; i = i + 1 {
+		var bestj int = i
+		var bestv int = d[i]
+		if bestv < 0 {
+			bestv = -bestv
+		}
+		for var j = i + 1; j < n; j = j + 1 {
+			var v int = d[j]
+			if v < 0 {
+				v = -v
+			}
+			if v > bestv {
+				bestv = v
+				bestj = j
+			}
+		}
+		var t int = d[i]
+		d[i] = d[bestj]
+		d[bestj] = t
+	}
+	var s int = 0
+	for var i = 0; i < n; i = i + 1 {
+		s = s + d[i]
+	}
+	return s
+}`
+
+const fppppSrc = `
+func fpppp(n int, g []int, f []int) int {
+	// long straight-line basic blocks with many scalar temporaries
+	var total int = 0
+	for var i = 0; i < n; i = i + 1 {
+		var a int = g[i]
+		var b int = a * a
+		var c int = b - a
+		var d int = c * 3 + b
+		var e int = d / (a + 1)
+		var q int = e * b - c * d
+		var r int = q / (d + 2)
+		var s int = r + e - a
+		var t int = s * s / (b + 1)
+		var u int = t + q % 11
+		var v int = u * 2 - r
+		var w int = v + s / (t + 1)
+		var x int = w - u % 5
+		var y int = x * c / (e + 3)
+		var z int = y + w - v
+		f[i] = z
+		total = total + z % 1000
+	}
+	// Second integral block: longer expression chains with values that
+	// stay live across a conditional recombination.
+	var acc1 int = 0
+	var acc2 int = 1
+	var acc3 int = 2
+	var acc4 int = 3
+	for var i = 0; i < n; i = i + 1 {
+		var p int = f[i]
+		var q int = g[i]
+		var m1 int = p * q - p
+		var m2 int = p + q * 3
+		var m3 int = m1 * m2 / (p % 13 + 14)
+		var m4 int = m3 - m1 + m2
+		var m5 int = m4 * 2 - m3 / (q % 7 + 8)
+		var m6 int = m5 + m4 % 9
+		var m7 int = m6 * m1 / (m2 % 5 + 6)
+		var m8 int = m7 - m6 + m5 - m4
+		if m8 % 2 == 0 {
+			acc1 = acc1 + m8 - acc3
+			acc3 = acc1 % 4096
+		} else {
+			acc2 = acc2 + m7 - acc4
+			acc4 = acc2 % 4096
+		}
+		var rot int = acc1
+		acc1 = acc2
+		acc2 = acc3
+		acc3 = acc4
+		acc4 = rot
+	}
+	return total + acc1 + acc2 * 2 + acc3 * 3 + acc4 * 5
+}`
+
+const advbndxSrc = `
+func advbndx(n int, u []int, v []int) int {
+	// interior advance plus boundary conditions at both ends
+	for var i = 1; i < n - 1; i = i + 1 {
+		v[i] = u[i] - (u[i+1] - u[i-1]) / 4
+	}
+	v[0] = v[1]
+	v[n-1] = v[n-2]
+	var flips int = 0
+	for var i = 0; i < n; i = i + 1 {
+		if v[i] < 0 {
+			v[i] = -v[i]
+			flips = flips + 1
+		}
+		u[i] = v[i]
+	}
+	return flips
+}`
+
+const desecoSrc = `
+func deseco(n int, mode int, sig []int) int {
+	// decision-heavy decoder: if/else ladders inside the loop
+	var state int = mode % 8
+	var out int = 0
+	for var i = 0; i < n; i = i + 1 {
+		var s int = sig[i]
+		if state == 0 {
+			if s > 50 {
+				state = 1
+			} else if s < -50 {
+				state = 2
+			}
+		} else if state == 1 {
+			out = out + s
+			if s < 0 {
+				state = 3
+			}
+		} else if state == 2 {
+			out = out - s
+			if s > 0 {
+				state = 3
+			}
+		} else if state == 3 {
+			if s % 2 == 0 && out > 0 {
+				state = 0
+			} else if s % 3 == 0 || out < -500 {
+				state = 1
+			} else {
+				state = 2
+			}
+		} else {
+			state = state / 2
+		}
+	}
+	// Second pass: two-hypothesis trellis where the hypotheses swap roles
+	// on every branch flip — the virtual swap problem in the wild.
+	var hyp0 int = 0
+	var hyp1 int = 1
+	var flips int = 0
+	for var i = 0; i < n; i = i + 1 {
+		var s int = sig[i]
+		var m0 int = hyp0 + s
+		var m1 int = hyp1 - s
+		if m0 < m1 {
+			hyp0 = m1
+			hyp1 = m0
+			flips = flips + 1
+		} else {
+			hyp0 = m0
+			hyp1 = m1
+		}
+		if flips % 7 == 3 {
+			var t int = hyp0
+			hyp0 = hyp1
+			hyp1 = t
+		}
+	}
+	return out * 10 + state + hyp0 - hyp1 + flips
+}`
+
+const zeroinSrc = `
+func zeroin(ax int, bx int) int {
+	// Dekker-style bracketing root finder for f(x) = x*x/100 - 400,
+	// integer model. The bracket swap is the classic virtual-swap shape.
+	var a int = ax
+	var b int = bx
+	var fa int = a * a / 100 - 400
+	var fb int = b * b / 100 - 400
+	var steps int = 0
+	while b - a > 1 && steps < 200 {
+		if (fa < 0 && fb < 0) || (fa > 0 && fb > 0) {
+			return -steps
+		}
+		var m int = (a + b) / 2
+		var fm int = m * m / 100 - 400
+		if (fm < 0 && fa < 0) || (fm > 0 && fa > 0) {
+			a = m
+			fa = fm
+		} else {
+			b = m
+			fb = fm
+		}
+		// keep |f(a)| >= |f(b)| by swapping the bracket ends
+		var absa int = fa
+		if absa < 0 {
+			absa = -absa
+		}
+		var absb int = fb
+		if absb < 0 {
+			absb = -absb
+		}
+		if absa < absb {
+			var t int = a
+			a = b
+			b = t
+			var ft int = fa
+			fa = fb
+			fb = ft
+		}
+		steps = steps + 1
+	}
+	return b * 1000 + steps
+}`
+
+const sevalSrc = `
+func seval(n int, u int, x []int, y []int, c []int) int {
+	// cubic-spline-style evaluation: binary search then polynomial
+	var lo int = 0
+	var hi int = n - 1
+	while hi - lo > 1 {
+		var mid int = (lo + hi) / 2
+		if x[mid] > u {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	var d int = u - x[lo]
+	var acc int = 0
+	for var k = 0; k < 8; k = k + 1 {
+		acc = y[lo] + d * (c[lo] + d * (acc / 16))
+	}
+	// Horner evaluation with rotating coefficient registers c0..c2.
+	var c0 int = c[lo]
+	var c1 int = y[lo] / 2
+	var c2 int = d % 17
+	var horner int = 0
+	for var k = 0; k < 6; k = k + 1 {
+		horner = horner * d / 8 + c0
+		var t int = c0
+		c0 = c1
+		c1 = c2
+		c2 = t
+	}
+	return acc + horner + c0 - c2
+}`
+
+const urandSrc = `
+func urand(n int, seed int, hist []int) int {
+	var s int = seed
+	var sum int = 0
+	for var i = 0; i < n; i = i + 1 {
+		s = (s * 1103515245 + 12345) % 2147483648
+		if s < 0 {
+			s = -s
+		}
+		var bucket int = s % 64
+		hist[bucket] = hist[bucket] + 1
+		sum = sum + s % 97
+	}
+	// Lagged-Fibonacci-style pair of streams that exchange lags whenever
+	// they collide modulo a small prime: loop-carried swap pressure.
+	var a int = seed % 9973 + 7
+	var b int = seed % 8191 + 11
+	var lag int = 0
+	for var i = 0; i < n / 2; i = i + 1 {
+		var c int = (a + b) % 65536
+		a = b
+		b = c
+		if c % 31 == lag % 31 {
+			var t int = a
+			a = b
+			b = t
+			lag = lag + 1
+		}
+	}
+	return sum + a * 3 + b + lag
+}`

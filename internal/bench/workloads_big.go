@@ -1,0 +1,101 @@
+package bench
+
+// The two largest routines of the paper's suite, fpppp (Spec: famously
+// enormous straight-line basic blocks) and twldrv (the longest-compiling
+// program in the paper's Table 2), are synthesized at realistic scale:
+// dozens of phases of the hand-written patterns, produced by the builders
+// below at package initialization. Everything is still deterministic
+// kernel-language source; only its length is machine-produced.
+
+import (
+	"fmt"
+	"strings"
+)
+
+var (
+	fppppBigSrc  = buildFppppBig(36)
+	twldrvBigSrc = buildTwldrvBig(18)
+)
+
+// buildFppppBig emits one function with `stanzas` long straight-line
+// expression blocks, each consuming the previous block's outputs, inside a
+// single loop — very large basic blocks with high register pressure.
+func buildFppppBig(stanzas int) string {
+	var sb strings.Builder
+	sb.WriteString("func fpppp(n int, g []int, f []int) int {\n")
+	sb.WriteString("\tvar total int = 0\n")
+	sb.WriteString("\tvar carry int = 1\n")
+	sb.WriteString("\tfor var i = 0; i < n; i = i + 1 {\n")
+	sb.WriteString("\t\tvar p int = g[i]\n")
+	sb.WriteString("\t\tvar q int = f[i] + carry\n")
+	for s := 0; s < stanzas; s++ {
+		a := fmt.Sprintf("a%d", s)
+		b := fmt.Sprintf("b%d", s)
+		c := fmt.Sprintf("c%d", s)
+		d := fmt.Sprintf("d%d", s)
+		e := fmt.Sprintf("e%d", s)
+		fmt.Fprintf(&sb, "\t\tvar %s int = p * %d + q\n", a, s+2)
+		fmt.Fprintf(&sb, "\t\tvar %s int = %s * %s - p\n", b, a, a)
+		fmt.Fprintf(&sb, "\t\tvar %s int = %s / (q %% 7 + 9) + %s\n", c, b, a)
+		fmt.Fprintf(&sb, "\t\tvar %s int = %s - %s + %s * 3\n", d, c, b, a)
+		fmt.Fprintf(&sb, "\t\tvar %s int = %s %% 8191 + %s / (p %% 5 + 6)\n", e, d, c)
+		fmt.Fprintf(&sb, "\t\tp = %s %% 4096\n", e)
+		fmt.Fprintf(&sb, "\t\tq = %s + %s %% 64\n", d, e)
+	}
+	sb.WriteString("\t\tif q % 3 == 0 {\n\t\t\tcarry = p % 512\n\t\t} else {\n\t\t\tcarry = q % 512\n\t\t}\n")
+	sb.WriteString("\t\tf[i] = p + q\n")
+	sb.WriteString("\t\ttotal = total + carry\n")
+	sb.WriteString("\t}\n")
+	sb.WriteString("\treturn total + carry\n}\n")
+	return sb.String()
+}
+
+// buildTwldrvBig emits a long driver with `phases` distinct loop nests:
+// relaxation sweeps, rotating-register filters, conditional swaps, and
+// reductions — the control-flow zoo of a real time-stepped solver.
+func buildTwldrvBig(phases int) string {
+	var sb strings.Builder
+	sb.WriteString("func twldrv(n int, steps int, u []int, f []int) int {\n")
+	sb.WriteString("\tvar acc int = 0\n")
+	for ph := 0; ph < phases; ph++ {
+		s0 := fmt.Sprintf("s%da", ph)
+		s1 := fmt.Sprintf("s%db", ph)
+		s2 := fmt.Sprintf("s%dc", ph)
+		switch ph % 4 {
+		case 0: // rotating three-register filter
+			fmt.Fprintf(&sb, "\tvar %s int = 1\n\tvar %s int = 2\n\tvar %s int = 3\n", s0, s1, s2)
+			fmt.Fprintf(&sb, "\tfor var i%d = 0; i%d < n * 4; i%d = i%d + 1 {\n", ph, ph, ph, ph)
+			fmt.Fprintf(&sb, "\t\tvar nxt int = (%s + 2 * %s - %s) / 2 + f[i%d] / %d\n", s0, s1, s2, ph, ph+1)
+			fmt.Fprintf(&sb, "\t\t%s = %s\n\t\t%s = %s\n\t\t%s = nxt\n", s0, s1, s1, s2, s2)
+			fmt.Fprintf(&sb, "\t\tif %s > 600 {\n\t\t\t%s = %s - %s\n\t\t}\n", s2, s2, s2, s0)
+			sb.WriteString("\t}\n")
+			fmt.Fprintf(&sb, "\tacc = acc + %s + %s - %s\n", s0, s1, s2)
+		case 1: // forward relaxation with clamp
+			fmt.Fprintf(&sb, "\tfor var s%d = 0; s%d < steps; s%d = s%d + 1 {\n", ph, ph, ph, ph)
+			fmt.Fprintf(&sb, "\t\tvar prev int = u[0]\n")
+			fmt.Fprintf(&sb, "\t\tfor var i%d = 1; i%d < n * 4 - 1; i%d = i%d + 1 {\n", ph, ph, ph, ph)
+			fmt.Fprintf(&sb, "\t\t\tvar cur int = u[i%d]\n", ph)
+			fmt.Fprintf(&sb, "\t\t\tvar nv int = cur + (u[i%d+1] - 2 * cur + prev) / 4 + f[i%d] / %d\n", ph, ph, ph+2)
+			fmt.Fprintf(&sb, "\t\t\tif nv > 900 {\n\t\t\t\tnv = 900\n\t\t\t} else if nv < -900 {\n\t\t\t\tnv = -900\n\t\t\t}\n")
+			fmt.Fprintf(&sb, "\t\t\tu[i%d] = nv\n\t\t\tprev = cur\n", ph)
+			sb.WriteString("\t\t}\n\t}\n")
+		case 2: // two-pointer mirror pass with conditional swap
+			fmt.Fprintf(&sb, "\tvar lo%d int = 0\n\tvar hi%d int = n * 4 - 1\n", ph, ph)
+			fmt.Fprintf(&sb, "\twhile lo%d < hi%d {\n", ph, ph)
+			fmt.Fprintf(&sb, "\t\tvar a int = u[lo%d]\n\t\tvar b int = u[hi%d]\n", ph, ph)
+			fmt.Fprintf(&sb, "\t\tif a > b {\n\t\t\tu[lo%d] = b\n\t\t\tu[hi%d] = a\n\t\t\tacc = acc + 1\n\t\t}\n", ph, ph)
+			fmt.Fprintf(&sb, "\t\tlo%d = lo%d + 1\n\t\thi%d = hi%d - 1\n\t}\n", ph, ph, ph, ph)
+		case 3: // windowed reduction with rotating window and break-out
+			fmt.Fprintf(&sb, "\tvar w%da int = u[0]\n\tvar w%db int = u[1]\n\tvar best%d int = 0\n", ph, ph, ph)
+			fmt.Fprintf(&sb, "\tfor var i%d = 2; i%d < n * 4; i%d = i%d + 1 {\n", ph, ph, ph, ph)
+			fmt.Fprintf(&sb, "\t\tvar w int = u[i%d]\n", ph)
+			fmt.Fprintf(&sb, "\t\tvar cand int = w%da + w%db + w\n", ph, ph)
+			fmt.Fprintf(&sb, "\t\tif cand > best%d {\n\t\t\tbest%d = cand\n\t\t}\n", ph, ph)
+			fmt.Fprintf(&sb, "\t\tif best%d > 100000 {\n\t\t\tbreak\n\t\t}\n", ph)
+			fmt.Fprintf(&sb, "\t\tw%da = w%db\n\t\tw%db = w\n\t}\n", ph, ph, ph)
+			fmt.Fprintf(&sb, "\tacc = acc + best%d\n", ph)
+		}
+	}
+	sb.WriteString("\treturn acc\n}\n")
+	return sb.String()
+}

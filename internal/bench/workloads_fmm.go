@@ -1,0 +1,175 @@
+package bench
+
+// Additional kernels named for Forsythe/Malcolm/Moler routines (the other
+// half of the paper's test suite): linear-system decomposition and solve,
+// ODE stepping, spline setup, and scalar minimization. Integer models
+// with the same loop/branch structure as the originals.
+
+const decompSrc = `
+func decomp(n int, a []int, piv []int) int {
+	// LU-style elimination with partial pivoting (integer model).
+	var sign int = 1
+	for var k = 0; k < n - 1; k = k + 1 {
+		// find pivot in column k
+		var m int = k
+		var best int = a[k*n+k]
+		if best < 0 {
+			best = -best
+		}
+		for var i = k + 1; i < n; i = i + 1 {
+			var v int = a[i*n+k]
+			if v < 0 {
+				v = -v
+			}
+			if v > best {
+				best = v
+				m = i
+			}
+		}
+		piv[k] = m
+		if m != k {
+			sign = -sign
+			for var j = 0; j < n; j = j + 1 {
+				var t int = a[k*n+j]
+				a[k*n+j] = a[m*n+j]
+				a[m*n+j] = t
+			}
+		}
+		var d int = a[k*n+k]
+		if d == 0 {
+			d = 1
+		}
+		for var i = k + 1; i < n; i = i + 1 {
+			var mult int = a[i*n+k] / d
+			a[i*n+k] = mult
+			for var j = k + 1; j < n; j = j + 1 {
+				a[i*n+j] = a[i*n+j] - mult * a[k*n+j]
+			}
+		}
+	}
+	var trace int = 0
+	for var k = 0; k < n; k = k + 1 {
+		trace = trace + a[k*n+k]
+	}
+	return trace * sign
+}`
+
+const solveSrc = `
+func solve(n int, a []int, b []int, piv []int) int {
+	// forward/back substitution against decomp's layout
+	for var k = 0; k < n - 1; k = k + 1 {
+		var m int = piv[k]
+		var t int = b[m]
+		b[m] = b[k]
+		b[k] = t
+		for var i = k + 1; i < n; i = i + 1 {
+			b[i] = b[i] - a[i*n+k] * b[k]
+		}
+	}
+	for var kk = 0; kk < n; kk = kk + 1 {
+		var k int = n - 1 - kk
+		var d int = a[k*n+k]
+		if d == 0 {
+			d = 1
+		}
+		b[k] = b[k] / d
+		for var i = 0; i < k; i = i + 1 {
+			b[i] = b[i] - a[i*n+k] * b[k]
+		}
+	}
+	var s int = 0
+	for var i = 0; i < n; i = i + 1 {
+		s = s + b[i]
+	}
+	return s
+}`
+
+const rkf45Src = `
+func rkf45(steps int, y0 int) int {
+	// Runge-Kutta-Fehlberg-shaped stepper: six staged slopes per step,
+	// error-controlled step halving/doubling (integer model).
+	var y int = y0
+	var h int = 64
+	var t int = 0
+	var rejects int = 0
+	for var s = 0; s < steps; s = s + 1 {
+		var k1 int = -(y / 8) + t % 5
+		var k2 int = -((y + h * k1 / 256) / 8)
+		var k3 int = -((y + h * (k1 + k2) / 512) / 8)
+		var k4 int = -((y + h * k3 / 128) / 8)
+		var k5 int = -((y + h * (k3 + k4) / 256) / 8)
+		var k6 int = -((y + h * (k1 + 4 * k5) / 640) / 8)
+		var lo int = k1 + 4 * k3 + k5
+		var hi int = k1 + 2 * k2 + 2 * k4 + k6
+		var err int = hi - lo
+		if err < 0 {
+			err = -err
+		}
+		if err > 40 && h > 4 {
+			h = h / 2
+			rejects = rejects + 1
+		} else {
+			y = y + h * hi / 384
+			t = t + h
+			if err < 6 && h < 256 {
+				h = h * 2
+			}
+		}
+	}
+	return y + t + h + rejects * 1000
+}`
+
+const splineSrc = `
+func spline(n int, x []int, y []int, c []int) int {
+	// tridiagonal setup + forward sweep + back substitution
+	for var i = 1; i < n - 1; i = i + 1 {
+		var hl int = x[i] - x[i-1]
+		var hr int = x[i+1] - x[i]
+		if hl == 0 {
+			hl = 1
+		}
+		if hr == 0 {
+			hr = 1
+		}
+		c[i] = (y[i+1] - y[i]) / hr - (y[i] - y[i-1]) / hl
+	}
+	c[0] = 0
+	c[n-1] = 0
+	for var i = 2; i < n - 1; i = i + 1 {
+		c[i] = c[i] - c[i-1] / 4
+	}
+	for var ii = 2; ii < n - 1; ii = ii + 1 {
+		var i int = n - 1 - ii
+		c[i] = c[i] - c[i+1] / 4
+	}
+	var s int = 0
+	for var i = 0; i < n; i = i + 1 {
+		s = s + c[i]
+	}
+	return s
+}`
+
+const fminSrc = `
+func fmin(lo int, hi int) int {
+	// golden-section-style minimization of f(x) = (x-137)^2 / 16
+	var a int = lo
+	var b int = hi
+	var steps int = 0
+	while b - a > 2 && steps < 300 {
+		var third int = (b - a) / 3
+		var m1 int = a + third
+		var m2 int = b - third
+		var f1 int = (m1 - 137) * (m1 - 137) / 16
+		var f2 int = (m2 - 137) * (m2 - 137) / 16
+		if f1 < f2 {
+			b = m2
+		} else if f2 < f1 {
+			a = m1
+		} else {
+			a = m1
+			b = m2
+		}
+		steps = steps + 1
+	}
+	return (a + b) / 2 * 1000 + steps
+}`

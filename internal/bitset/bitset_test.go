@@ -1,0 +1,130 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(200)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) true after Remove")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+	got := s.Members()
+	want := []int{0, 1, 63, 65, 127, 128, 199}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("set not empty after Clear")
+	}
+}
+
+func TestOrAndNot(t *testing.T) {
+	a, b := New(130), New(130)
+	a.Add(3)
+	b.Add(100)
+	b.Add(3)
+	if changed := a.Or(b); !changed {
+		t.Fatal("Or reported no change")
+	}
+	if !a.Has(100) || !a.Has(3) {
+		t.Fatal("Or missed members")
+	}
+	if changed := a.Or(b); changed {
+		t.Fatal("second Or reported change")
+	}
+	a.AndNot(b)
+	if a.Has(3) || a.Has(100) {
+		t.Fatal("AndNot left members")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Add(10)
+	b := a.Clone()
+	b.Add(20)
+	if a.Has(20) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Has(10) {
+		t.Fatal("Clone lost members")
+	}
+}
+
+// Property: Add then Has holds, membership matches a reference map.
+func TestQuickMembership(t *testing.T) {
+	f := func(elems []uint16) bool {
+		s := New(1 << 16)
+		ref := map[int]bool{}
+		for _, e := range elems {
+			s.Add(int(e))
+			ref[int(e)] = true
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) {
+			if !ref[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Or is idempotent and commutative w.r.t. membership.
+func TestQuickOr(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u1 := a.Clone()
+		u1.Or(b)
+		u2 := b.Clone()
+		u2.Or(a)
+		for i := 0; i < 256; i++ {
+			if u1.Has(i) != u2.Has(i) {
+				return false
+			}
+			if u1.Has(i) != (a.Has(i) || b.Has(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

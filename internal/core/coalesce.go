@@ -1,0 +1,414 @@
+// Package core implements the paper's primary contribution: copy
+// coalescing and live-range identification during SSA-to-CFG conversion,
+// without an interference graph (§3).
+//
+// The algorithm is optimistic: it assumes every φ-induced copy is
+// unnecessary, unions all φ-node resources into congruence classes with
+// union-find, and then re-inserts only the copies it cannot prove
+// unnecessary. Interference is decided from liveness and dominance alone
+// (Theorems 2.1/2.2): if two variables interfere, the definition of one
+// dominates the definition of the other, and the dominated one's block
+// sees the other in its live-in set (or they share a block). Within a
+// class, the dominance forest (§3.2) reduces interference checking to
+// parent/child edges (Lemma 3.1); pairs that are only live-range-adjacent
+// inside one block are resolved by a backward walk over that block (§3.4).
+//
+// The four steps of §3:
+//  1. union φ-node parameters with their φ names, filtering obviously
+//     interfering parameters early (the five checks of §3.1);
+//  2. build a dominance forest per class and find interferences along its
+//     edges (Figure 2), splitting a member out of the class — which
+//     reinstates copies — whenever an interference is certain;
+//  3. resolve block-local interferences with one backward walk per block;
+//  4. give each class a single name and rewrite the program, materializing
+//     the pending copies (the Waiting array) as sequentialized parallel
+//     copies at block ends (§3.6), which also handles the swap and virtual
+//     swap problems.
+//
+// Steps 2 and 3 repeat until no class changes; splits only shrink classes,
+// so the loop terminates. The repetition covers the "additional
+// interferences identified at renaming time" of §3.6.1.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/liveness"
+	"fastcoalesce/internal/unionfind"
+)
+
+// Options configures Coalesce. The zero value is the paper's algorithm.
+type Options struct {
+	// NoFilters disables the five early interference checks of §3.1
+	// (ablation). The dominance-forest and local passes then discover all
+	// interferences; the paper predicts more copies and more time.
+	NoFilters bool
+
+	// NaivePairwise replaces the dominance-forest walk with a quadratic
+	// all-pairs check within each class (ablation for Lemma 3.1). Results
+	// are identical; only the work differs.
+	NaivePairwise bool
+
+	// NoDepthWeight makes split decisions count copies instead of
+	// weighting them by an estimated execution frequency of their
+	// insertion block. The weighting is this implementation's instance of
+	// the precision heuristics the paper leaves as future work (§5); it
+	// mirrors the baseline coalescer's innermost-loops-first
+	// profitability order.
+	NoDepthWeight bool
+
+	// Dom, when non-nil, is a dominator tree for the function's current
+	// CFG, reused instead of recomputing (ssa.Build exposes one; the CFG
+	// does not change between construction and destruction).
+	Dom *dom.Tree
+
+	// Trace, when non-nil, receives a line for each interference found
+	// and each split/cut performed — a debugging aid.
+	Trace func(string)
+
+	// NodeSplit resolves an interference by removing one whole member
+	// from the class — the literal Figure 2 semantics ("insert copies
+	// for c"), which reinstates a copy for every φ link the victim had.
+	// The default instead cuts the cheapest φ links separating the two
+	// interfering members (a minimal cut over the class's φ-link graph),
+	// realizing §3.1's observation that "in general, only a single copy
+	// is needed to break the interference" in steps 2 and 3 as well.
+	NodeSplit bool
+}
+
+// Stats reports what Coalesce did.
+type Stats struct {
+	Phis           int    // φ-nodes processed
+	PhiArgs        int    // φ arguments processed
+	InitialUnions  int    // successful unions in step 1
+	AlreadyJoined  int    // φ args already in the φ's class when reached
+	FilterHits     [5]int // early-copy decisions per §3.1 check
+	ForestSplits   int    // members split by the dominance-forest walk
+	LocalSplits    int    // members split by the local (in-block) pass
+	Rounds         int    // step-2/3 repetitions until stable
+	Classes        int    // multi-member classes at the end
+	ClassMembers   int    // members across those classes
+	CopiesInserted int    // copies materialized in step 4 (incl. temps)
+	TempsCreated   int    // cycle/terminator temporaries
+
+	// AnalysisTime covers the dominator and liveness computations the
+	// algorithm consumes (the paper assumes these exist, §3); AlgoTime is
+	// the four steps themselves — the span of the O(n α(n)) bound.
+	AnalysisTime time.Duration
+	AlgoTime     time.Duration
+}
+
+// Coalesce converts f out of SSA form in place, coalescing φ-induced
+// copies. f must be in strict SSA form with critical edges already split
+// (ssa.Build does both). After Coalesce, f contains no φ-nodes.
+func Coalesce(f *ir.Func, opt Options) *Stats {
+	t0 := time.Now()
+	c := newCoalescer(f, opt)
+	t1 := time.Now()
+	c.unionPhiResources()   // step 1
+	c.materializeClasses()  //
+	c.resolveInterference() // steps 2 and 3, to fixpoint
+	c.rewrite()             // step 4
+	c.st.AnalysisTime = t1.Sub(t0)
+	c.st.AlgoTime = time.Since(t1)
+	return c.st
+}
+
+// phiRec locates one φ-node.
+type phiRec struct {
+	block ir.BlockID
+	idx   int // index in the block's instruction list (φ prefix)
+}
+
+type coalescer struct {
+	f    *ir.Func
+	opt  Options
+	st   *Stats
+	dt   *dom.Tree
+	live *liveness.Info
+
+	defBlock []ir.BlockID // defining block per var (NoBlock if undefined)
+	defIdx   []int32      // instruction index of the definition
+	isPhiDef []bool
+	phis     []phiRec
+	phiOfDef []int32   // var -> index into phis if the var is a φ def, else -1
+	argUses  [][]int32 // var -> φs (indices into phis) using it as an argument
+
+	uf      *unionfind.UF
+	blocks  map[int]map[ir.BlockID]ir.VarID // UF root -> def-block occupancy
+	classOf []int32                         // var -> class index, or -1 for singletons
+	members [][]ir.VarID                    // class index -> members
+
+	weight []float64 // per block: estimated execution frequency
+	dirty  []bool    // per class: needs (re-)walking this round
+}
+
+func newCoalescer(f *ir.Func, opt Options) *coalescer {
+	nv := f.NumVars()
+	dt := opt.Dom
+	if dt == nil {
+		dt = dom.New(f)
+	}
+	c := &coalescer{
+		f:        f,
+		opt:      opt,
+		st:       &Stats{},
+		dt:       dt,
+		live:     liveness.Compute(f),
+		defBlock: make([]ir.BlockID, nv),
+		defIdx:   make([]int32, nv),
+		isPhiDef: make([]bool, nv),
+		phiOfDef: make([]int32, nv),
+		argUses:  make([][]int32, nv),
+		uf:       unionfind.New(nv),
+		blocks:   make(map[int]map[ir.BlockID]ir.VarID),
+		classOf:  make([]int32, nv),
+	}
+	for i := range c.defBlock {
+		c.defBlock[i] = ir.NoBlock
+		c.phiOfDef[i] = -1
+		c.classOf[i] = -1
+	}
+	if opt.NoDepthWeight {
+		c.weight = make([]float64, len(f.Blocks))
+		for i := range c.weight {
+			c.weight[i] = 1
+		}
+	} else {
+		c.weight = c.dt.EstimateFrequencies(c.dt.FindLoops())
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.HasDef() {
+				c.defBlock[in.Def] = b.ID
+				c.defIdx[in.Def] = int32(i)
+			}
+			if in.Op == ir.OpPhi {
+				pi := int32(len(c.phis))
+				c.phis = append(c.phis, phiRec{block: b.ID, idx: i})
+				c.isPhiDef[in.Def] = true
+				c.phiOfDef[in.Def] = pi
+				for _, a := range in.Args {
+					c.argUses[a] = append(c.argUses[a], pi)
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *coalescer) phiInstr(pi int32) *ir.Instr {
+	p := c.phis[pi]
+	return &c.f.Blocks[p.block].Instrs[p.idx]
+}
+
+// blockMap returns the def-block occupancy map for a union-find root, or
+// nil for a still-singleton class (whose only occupied block is the
+// root's own defining block) — avoiding a map allocation per variable.
+func (c *coalescer) blockMap(root int) map[ir.BlockID]ir.VarID {
+	return c.blocks[root]
+}
+
+// unionPhiResources is step 1 (§3.1): union every φ name with its
+// parameters, filtering parameters that obviously interfere. A parameter
+// that is filtered simply stays out of the class; step 4 then inserts the
+// copy for it. The five checks, in order:
+//
+//  1. ai is in the live-in set of the φ's block;
+//  2. the φ name is in the live-out set of ai's defining block;
+//  3. ai is itself a φ def and the φ name is live-in to ai's block;
+//  4. ai was already claimed by another φ-node of the current block;
+//  5. ai's defining block is already occupied by another member of the
+//     class (which also keeps Definition 3.1 satisfiable).
+func (c *coalescer) unionPhiResources() {
+	claimed := make(map[ir.VarID]int32)
+	curBlock := ir.NoBlock
+	for pi := range c.phis {
+		rec := c.phis[pi]
+		if rec.block != curBlock {
+			curBlock = rec.block
+			clear(claimed)
+		}
+		in := c.phiInstr(int32(pi))
+		d := in.Def
+		c.st.Phis++
+		// Union the hottest incoming edge first: when two φs compete for
+		// a name (check 4) or a def-block slot (check 5), the frequent
+		// edge should win the free coalesce and the copy should land on
+		// the cold edge.
+		order := make([]int, len(in.Args))
+		for i := range order {
+			order[i] = i
+		}
+		preds := c.f.Blocks[rec.block].Preds
+		sort.SliceStable(order, func(x, y int) bool {
+			return c.weight[preds[order[x]]] > c.weight[preds[order[y]]]
+		})
+		for _, ai := range order {
+			a := in.Args[ai]
+			c.st.PhiArgs++
+			rd, ra := c.uf.Find(int(d)), c.uf.Find(int(a))
+			if rd == ra {
+				c.st.AlreadyJoined++
+				continue
+			}
+			filter := -1
+			if !c.opt.NoFilters {
+				switch {
+				case c.live.LiveIn(rec.block, a):
+					filter = 0
+				case c.live.LiveOut(c.defBlock[a], d):
+					filter = 1
+				case c.isPhiDef[a] && c.live.LiveIn(c.defBlock[a], d):
+					filter = 2
+				default:
+					if owner, ok := claimed[a]; ok && owner != int32(pi) {
+						filter = 3
+					}
+				}
+			}
+			if filter < 0 && c.defBlockConflict(rd, ra) {
+				filter = 4
+			}
+			if filter >= 0 {
+				c.st.FilterHits[filter]++
+				continue
+			}
+			c.mergeClasses(rd, ra)
+			claimed[a] = int32(pi)
+			c.st.InitialUnions++
+		}
+	}
+}
+
+// defBlockConflict reports whether the classes rooted at r1 and r2 both
+// contain a variable defined in some common block. A nil map stands for
+// the singleton {defBlock[root]}.
+func (c *coalescer) defBlockConflict(r1, r2 int) bool {
+	m1, m2 := c.blockMap(r1), c.blockMap(r2)
+	switch {
+	case m1 == nil && m2 == nil:
+		return c.defBlock[r1] == c.defBlock[r2]
+	case m1 == nil:
+		_, ok := m2[c.defBlock[r1]]
+		return ok
+	case m2 == nil:
+		_, ok := m1[c.defBlock[r2]]
+		return ok
+	}
+	if len(m1) > len(m2) {
+		m1, m2 = m2, m1
+	}
+	for b := range m1 {
+		if _, ok := m2[b]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *coalescer) mergeClasses(r1, r2 int) {
+	m1, m2 := c.blockMap(r1), c.blockMap(r2)
+	root, _ := c.uf.Union(r1, r2)
+	if m1 == nil {
+		m1 = map[ir.BlockID]ir.VarID{c.defBlock[r1]: ir.VarID(r1)}
+	}
+	if m2 == nil {
+		m2 = map[ir.BlockID]ir.VarID{c.defBlock[r2]: ir.VarID(r2)}
+	}
+	if len(m1) < len(m2) {
+		m1, m2 = m2, m1
+	}
+	for b, v := range m2 {
+		m1[b] = v
+	}
+	delete(c.blocks, r1)
+	delete(c.blocks, r2)
+	c.blocks[root] = m1
+}
+
+// materializeClasses converts union-find sets into explicit member lists;
+// splitting (removing one member) is then a constant-time class change.
+// Classes are numbered in variable order, keeping the pass deterministic.
+func (c *coalescer) materializeClasses() {
+	nv := c.f.NumVars()
+	size := make([]int32, nv) // indexed by root (roots are variable IDs)
+	for v := 0; v < nv; v++ {
+		size[c.uf.Find(v)]++
+	}
+	byRoot := make([]int32, nv)
+	for i := range byRoot {
+		byRoot[i] = -1
+	}
+	for v := 0; v < nv; v++ {
+		root := c.uf.Find(v)
+		if size[root] < 2 {
+			continue // singleton
+		}
+		k := byRoot[root]
+		if k < 0 {
+			k = int32(len(c.members))
+			byRoot[root] = k
+			c.members = append(c.members, nil)
+		}
+		c.classOf[v] = k
+		c.members[k] = append(c.members[k], ir.VarID(v))
+	}
+}
+
+// sameClass reports whether u and v share a congruence class.
+func (c *coalescer) sameClass(u, v ir.VarID) bool {
+	if u == v {
+		return true
+	}
+	k := c.classOf[u]
+	return k >= 0 && k == c.classOf[v]
+}
+
+// split removes v from its class, making it a singleton; the copies it
+// needs come back in step 4.
+func (c *coalescer) split(v ir.VarID) {
+	k := c.classOf[v]
+	ms := c.members[k]
+	for i, m := range ms {
+		if m == v {
+			c.members[k] = append(ms[:i], ms[i+1:]...)
+			break
+		}
+	}
+	c.classOf[v] = -1
+}
+
+// splitCost estimates the copies splitting v out of its class would
+// reinstate: one per φ linking v to a same-class partner (§3.3 "fewer
+// copies to insert"), weighted by the loop depth of the block each copy
+// would land in (unless Options.NoDepthWeight).
+func (c *coalescer) splitCost(v ir.VarID) float64 {
+	n := 0.0
+	if pi := c.phiOfDef[v]; pi >= 0 {
+		in := c.phiInstr(pi)
+		preds := c.f.Blocks[c.phis[pi].block].Preds
+		for i, a := range in.Args {
+			if a != v && c.sameClass(v, a) {
+				n += c.weight[preds[i]]
+			}
+		}
+	}
+	for _, pi := range c.argUses[v] {
+		in := c.phiInstr(pi)
+		if in.Def == v || !c.sameClass(v, in.Def) {
+			continue
+		}
+		preds := c.f.Blocks[c.phis[pi].block].Preds
+		for i, a := range in.Args {
+			if a == v {
+				n += c.weight[preds[i]]
+			}
+		}
+	}
+	return n
+}

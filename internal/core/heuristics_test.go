@@ -1,0 +1,224 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fastcoalesce/internal/interp"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/ssa"
+)
+
+// selectionSrc is the partial-pivoting pattern that exposed the
+// difference between node splitting and min-cut link splitting: the
+// running maximum (bestv) and the loop-local candidate (v) join one φ
+// web, and only a single φ link — on the rarely-taken improvement arm —
+// needs to be cut.
+const selectionSrc = `
+func sel(n int, d []int) int {
+	var total int = 0
+	for var i = 0; i < n - 1; i = i + 1 {
+		var bestj int = i
+		var bestv int = d[i]
+		if bestv < 0 {
+			bestv = -bestv
+		}
+		for var j = i + 1; j < n; j = j + 1 {
+			var v int = d[j]
+			if v < 0 {
+				v = -v
+			}
+			if v > bestv {
+				bestv = v
+				bestj = j
+			}
+		}
+		total = total + d[bestj]
+	}
+	return total
+}`
+
+func compileCoalesce(t *testing.T, src string, opt Options) *ir.Func {
+	t.Helper()
+	f, err := lang.CompileOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ssa.Build(f, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+	opt.Dom = st.Dom
+	Coalesce(f, opt)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func dynCopies(t *testing.T, f *ir.Func, args []int64, arrays [][]int64) int64 {
+	t.Helper()
+	res, err := interp.Run(f, args, arrays, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Counts.Copies
+}
+
+func selInputs() ([]int64, [][]int64) {
+	arr := make([]int64, 24)
+	for i := range arr {
+		arr[i] = int64((i*13)%37 - 18)
+	}
+	return []int64{24}, [][]int64{arr}
+}
+
+func TestMinCutBeatsNodeSplitOnSelection(t *testing.T) {
+	args, arrays := selInputs()
+	cut := compileCoalesce(t, selectionSrc, Options{})
+	node := compileCoalesce(t, selectionSrc, Options{NodeSplit: true})
+	nCut := dynCopies(t, cut, args, arrays)
+	nNode := dynCopies(t, node, args, arrays)
+	if nCut >= nNode {
+		t.Fatalf("min-cut %d dynamic copies, node-split %d — cut should win", nCut, nNode)
+	}
+	// The min cut pays per improvement (plus the bestv seed per outer
+	// iteration), well below node splitting's per-inner-iteration cost and
+	// below half the inner trip count (~276 here).
+	if nCut > 150 {
+		t.Fatalf("min-cut still pays %d dynamic copies (hot-path placement?)", nCut)
+	}
+}
+
+func TestNodeSplitStillCorrect(t *testing.T) {
+	args, arrays := selInputs()
+	orig, err := lang.CompileOne(selectionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := interp.Run(orig, args, arrays, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := compileCoalesce(t, selectionSrc, Options{NodeSplit: true, NoDepthWeight: true})
+	got, err := interp.Run(node, args, arrays, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interp.SameResult(want, got) {
+		t.Fatalf("node-split output wrong: %d vs %d", got.Ret, want.Ret)
+	}
+}
+
+// rotationSrc has a three-register software-pipeline rotation: every
+// iteration permutes (s0, s1, s2), so the φ web must keep some copies in
+// the latch no matter what — a lower bound the coalescer cannot beat but
+// also must not exceed by much.
+const rotationSrc = `
+func rot(n int) int {
+	var s0 int = 1
+	var s1 int = 2
+	var s2 int = 3
+	for var i = 0; i < n; i = i + 1 {
+		var nxt int = s0 + s1 - s2
+		s0 = s1
+		s1 = s2
+		s2 = nxt
+	}
+	return s0 * 100 + s1 * 10 + s2
+}`
+
+func TestRotationKeepsMinimalCopies(t *testing.T) {
+	f := compileCoalesce(t, rotationSrc, Options{})
+	// Rotation truly moves three values; with nxt feeding s2 directly the
+	// best possible is 2 copies per iteration (s0<-s1, s1<-s2).
+	n := dynCopies(t, f, []int64{10}, nil)
+	if n > 3*10 {
+		t.Fatalf("rotation executes %d copies for 10 iterations (max 3/iter expected)", n)
+	}
+	if n < 2*10 {
+		t.Fatalf("rotation executes only %d copies — that cannot be a correct rotation", n)
+	}
+	orig, _ := lang.CompileOne(rotationSrc)
+	want, _ := interp.Run(orig, []int64{10}, nil, 1_000_000)
+	got, err := interp.Run(f, []int64{10}, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interp.SameResult(want, got) {
+		t.Fatalf("rotation wrong: %d vs %d", got.Ret, want.Ret)
+	}
+}
+
+func TestTraceEmitsConflicts(t *testing.T) {
+	f, err := lang.CompileOne(selectionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssa.Build(f, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+	var lines []string
+	Coalesce(f, Options{Trace: func(s string) { lines = append(lines, s) }})
+	if len(lines) == 0 {
+		t.Fatal("no trace output for a program with interference")
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "conflict") {
+			t.Fatalf("unexpected trace line %q", l)
+		}
+	}
+}
+
+func TestDepthWeightAblationIsCorrect(t *testing.T) {
+	args, arrays := selInputs()
+	orig, _ := lang.CompileOne(selectionSrc)
+	want, _ := interp.Run(orig, args, arrays, 50_000_000)
+	for _, opt := range []Options{
+		{NoDepthWeight: true},
+		{NoDepthWeight: true, NodeSplit: true},
+		{NodeSplit: true},
+	} {
+		f := compileCoalesce(t, selectionSrc, opt)
+		got, err := interp.Run(f, args, arrays, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !interp.SameResult(want, got) {
+			t.Fatalf("opt %+v: wrong result %d vs %d", opt, got.Ret, want.Ret)
+		}
+	}
+}
+
+func TestDomReuseMatchesRecompute(t *testing.T) {
+	f1, err := lang.CompileOne(selectionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ssa.Build(f1, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+	f2 := f1.Clone()
+	Coalesce(f1, Options{Dom: st.Dom})
+	Coalesce(f2, Options{}) // recomputes dominators
+	if f1.String() != f2.String() {
+		t.Fatalf("reusing the construction-time dominator tree changed the output:\n%s\nvs\n%s", f1, f2)
+	}
+}
+
+func TestStatsAccountability(t *testing.T) {
+	f, err := lang.CompileOne(selectionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssa.Build(f, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+	st := Coalesce(f, Options{})
+	total := st.InitialUnions + st.AlreadyJoined
+	for _, h := range st.FilterHits {
+		total += h
+	}
+	if total != st.PhiArgs {
+		t.Fatalf("unions %d + joined %d + filters %v != φ args %d",
+			st.InitialUnions, st.AlreadyJoined, st.FilterHits, st.PhiArgs)
+	}
+	if st.AlgoTime <= 0 || st.AnalysisTime <= 0 {
+		t.Fatalf("timings not recorded: %+v", st)
+	}
+	if st.CopiesInserted != f.CountCopies() {
+		t.Fatalf("CopiesInserted %d != static copies %d", st.CopiesInserted, f.CountCopies())
+	}
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fastcoalesce/internal/domforest"
+	"fastcoalesce/internal/ir"
+	"fmt"
+)
+
+// pair is a parent/child candidate for the block-local interference check
+// (§3.4): the parent is live-in to the child's defining block, so only a
+// walk through that block can tell whether their ranges overlap.
+type pair struct {
+	p, c ir.VarID
+}
+
+// resolveInterference runs steps 2 (dominance-forest walk) and 3 (local
+// pass) until no class changes. Splits only remove members, so the loop
+// terminates; in practice one or two rounds suffice — later rounds model
+// the extra interferences that §3.6.1 describes surfacing at rename time.
+func (c *coalescer) resolveInterference() {
+	// First round covers every class; later rounds revisit only classes
+	// that a split touched (splits elsewhere cannot create new
+	// interference in an untouched class). Edge-cut splits append new
+	// classes, which arrive dirty and are walked next round.
+	c.dirty = make([]bool, len(c.members))
+	for i := range c.dirty {
+		c.dirty[i] = true
+	}
+	for {
+		c.st.Rounds++
+		splits := 0
+		var localPairs []pair
+		for k := 0; k < len(c.members); k++ {
+			if !c.dirty[k] {
+				continue
+			}
+			c.dirty[k] = false
+			splits += c.stabilizeBoundary(int32(k), &localPairs)
+		}
+		splits += c.localPass(localPairs)
+		if splits == 0 {
+			break
+		}
+	}
+	for k := range c.members {
+		if len(c.members[k]) >= 2 {
+			c.st.Classes++
+			c.st.ClassMembers += len(c.members[k])
+		}
+	}
+}
+
+// resolve breaks the interference between parent p and child c in class k.
+// Under Options.NodeSplit it removes the precomputed victim (Figure 2);
+// otherwise it cuts the cheapest φ links whose removal separates p from c.
+func (c *coalescer) resolve(k int32, p, ch, victim ir.VarID) {
+	if c.opt.Trace != nil {
+		names := ""
+		for _, m := range c.members[k] {
+			names += " " + c.f.VarName(m)
+		}
+		c.opt.Trace(fmt.Sprintf("conflict p=%s c=%s victim=%s class{%s }",
+			c.f.VarName(p), c.f.VarName(ch), c.f.VarName(victim), names))
+	}
+	if c.opt.NodeSplit {
+		if ck := c.classOf[victim]; ck >= 0 {
+			c.dirty[ck] = true
+		}
+		c.split(victim)
+		return
+	}
+	c.cutLinks(k, p, ch)
+}
+
+// stabilizeBoundary repeats the class walk until it finds no certain
+// (block-boundary) interference, then records the remaining local-check
+// pairs. It returns how many members it split.
+func (c *coalescer) stabilizeBoundary(k int32, pairs *[]pair) int {
+	splits := 0
+	for {
+		if len(c.members[k]) < 2 {
+			return splits
+		}
+		var cf conflict
+		var found bool
+		var walkPairs []pair
+		if c.opt.NaivePairwise {
+			cf, found, walkPairs = c.walkNaive(k)
+		} else {
+			cf, found, walkPairs = c.walkForest(k)
+		}
+		if !found {
+			*pairs = append(*pairs, walkPairs...)
+			return splits
+		}
+		c.resolve(k, cf.p, cf.c, cf.victim)
+		c.st.ForestSplits++
+		splits++
+	}
+}
+
+// conflict is one certain interference found by a class walk, with the
+// victim Figure 2 would remove.
+type conflict struct {
+	p, c   ir.VarID
+	victim ir.VarID
+}
+
+// walkForest builds the class's dominance forest and traverses it depth
+// first (Figure 2). It returns the first certain interference (with the
+// member Figure 2 would split), or the local-check pairs if the walk is
+// clean.
+func (c *coalescer) walkForest(k int32) (cf conflict, found bool, pairs []pair) {
+	fo := domforest.Build(c.dt, c.members[k], func(v ir.VarID) ir.BlockID {
+		return c.defBlock[v]
+	})
+	var stack []int
+	for i := len(fo.Roots) - 1; i >= 0; i-- {
+		stack = append(stack, fo.Roots[i])
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := &fo.Nodes[n]
+		for i := len(node.Children) - 1; i >= 0; i-- {
+			stack = append(stack, node.Children[i])
+		}
+		if node.Parent < 0 {
+			continue
+		}
+		pv := fo.Nodes[node.Parent].Var
+		cv := node.Var
+		if c.live.LiveOut(node.Block, pv) {
+			// Certain interference: pv is live across cv's whole block, so
+			// it is live at cv's definition. Figure 2's choice: split the
+			// child if the parent is otherwise clean and the child is
+			// cheaper; otherwise split the parent.
+			cf = conflict{p: pv, c: cv, victim: pv}
+			if c.parentOtherwiseClean(fo, node.Parent, n) && c.splitCost(cv) < c.splitCost(pv) {
+				cf.victim = cv
+			}
+			return cf, true, nil
+		}
+		if c.live.LiveIn(node.Block, pv) {
+			pairs = append(pairs, pair{p: pv, c: cv})
+		}
+	}
+	return conflict{}, false, pairs
+}
+
+// parentOtherwiseClean reports whether the parent node cannot interfere
+// with any of its children other than the excluded one, using the quick
+// block-boundary tests.
+func (c *coalescer) parentOtherwiseClean(fo *domforest.Forest, parent, exclude int) bool {
+	pv := fo.Nodes[parent].Var
+	for _, ch := range fo.Nodes[parent].Children {
+		if ch == exclude {
+			continue
+		}
+		b := fo.Nodes[ch].Block
+		if c.live.LiveOut(b, pv) || c.live.LiveIn(b, pv) {
+			return false
+		}
+	}
+	return true
+}
+
+// walkNaive is the NaivePairwise ablation: compare every dominance-related
+// pair in the class directly.
+func (c *coalescer) walkNaive(k int32) (cf conflict, found bool, pairs []pair) {
+	ms := c.members[k]
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			u, v := ms[i], ms[j]
+			bu, bv := c.defBlock[u], c.defBlock[v]
+			var pv, cv ir.VarID
+			switch {
+			case c.dt.StrictlyDominates(bu, bv):
+				pv, cv = u, v
+			case c.dt.StrictlyDominates(bv, bu):
+				pv, cv = v, u
+			default:
+				continue // unrelated blocks cannot interfere (Theorem 2.1)
+			}
+			if c.live.LiveOut(c.defBlock[cv], pv) {
+				cf = conflict{p: pv, c: cv, victim: pv}
+				if c.splitCost(cv) < c.splitCost(pv) {
+					cf.victim = cv
+				}
+				return cf, true, nil
+			}
+			if c.live.LiveIn(c.defBlock[cv], pv) {
+				pairs = append(pairs, pair{p: pv, c: cv})
+			}
+		}
+	}
+	return conflict{}, false, pairs
+}
+
+// classLink is one φ def-arg connection inside a congruence class; w is
+// the estimated frequency of the block the copy would land in if cut.
+type classLink struct {
+	u, v ir.VarID
+	w    float64
+}
+
+// cutLinks separates a and b by removing the minimum-frequency cut of φ
+// links between them (Edmonds-Karp max-flow over the class's φ-link
+// multigraph, capacities = estimated copy frequency). Members on a's side
+// of the cut keep the class; the rest move to a new one. The links across
+// the cut turn into copies during step 4 because their endpoints now join
+// different classes — realizing §3.1's "only a single copy is needed"
+// with the cheapest possible copy set.
+func (c *coalescer) cutLinks(k int32, a, b ir.VarID) {
+	ms := c.members[k]
+	var links []classLink
+	adj := make(map[ir.VarID][]int32, len(ms))
+	for _, m := range ms {
+		pi := c.phiOfDef[m]
+		if pi < 0 {
+			continue
+		}
+		in := c.phiInstr(pi)
+		preds := c.f.Blocks[c.phis[pi].block].Preds
+		for i, arg := range in.Args {
+			if arg == m || !c.sameClass(m, arg) {
+				continue
+			}
+			li := int32(len(links))
+			links = append(links, classLink{u: m, v: arg, w: c.weight[preds[i]]})
+			adj[m] = append(adj[m], li)
+			adj[arg] = append(adj[arg], li)
+		}
+	}
+
+	// Undirected max-flow: each link holds capacity w in both directions;
+	// flow along u->v consumes cap[u->v] and refunds cap[v->u].
+	capUV := make([]float64, len(links)) // residual u -> v
+	capVU := make([]float64, len(links)) // residual v -> u
+	for i, l := range links {
+		capUV[i], capVU[i] = l.w, l.w
+	}
+	residual := func(li int32, from ir.VarID) *float64 {
+		if links[li].u == from {
+			return &capUV[li]
+		}
+		return &capVU[li]
+	}
+	other := func(li int32, from ir.VarID) ir.VarID {
+		if links[li].u == from {
+			return links[li].v
+		}
+		return links[li].u
+	}
+
+	via := make(map[ir.VarID]int32, len(ms))
+	const eps = 1e-12
+	findPath := func() bool { // BFS over positive-residual arcs
+		clear(via)
+		via[a] = -1
+		queue := []ir.VarID{a}
+		for len(queue) > 0 {
+			m := queue[0]
+			queue = queue[1:]
+			if m == b {
+				return true
+			}
+			for _, li := range adj[m] {
+				if *residual(li, m) <= eps {
+					continue
+				}
+				o := other(li, m)
+				if _, seen := via[o]; !seen {
+					via[o] = li
+					queue = append(queue, o)
+				}
+			}
+		}
+		return false
+	}
+
+	for findPath() {
+		// Bottleneck along the path, then augment.
+		bottleneck := -1.0
+		for m := b; m != a; {
+			li := via[m]
+			o := other(li, m)
+			if r := *residual(li, o); bottleneck < 0 || r < bottleneck {
+				bottleneck = r
+			}
+			m = o
+		}
+		for m := b; m != a; {
+			li := via[m]
+			o := other(li, m)
+			*residual(li, o) -= bottleneck
+			*residual(li, m) += bottleneck
+			m = o
+		}
+	}
+
+	// Min cut: members reachable from a in the residual graph keep the
+	// class (findPath already failed, so via holds that reachable set).
+	keep := make(map[ir.VarID]bool, len(via))
+	for m := range via {
+		keep[m] = true
+	}
+	var kept, moved []ir.VarID
+	for _, m := range ms {
+		if keep[m] {
+			kept = append(kept, m)
+		} else {
+			moved = append(moved, m)
+		}
+	}
+	c.members[k] = kept
+	c.dirty[k] = true
+	for _, m := range kept {
+		if len(kept) < 2 {
+			c.classOf[m] = -1
+		}
+	}
+	if len(moved) >= 2 {
+		nk := int32(len(c.members))
+		c.members = append(c.members, moved)
+		c.dirty = append(c.dirty, true)
+		for _, m := range moved {
+			c.classOf[m] = nk
+		}
+	} else {
+		for _, m := range moved {
+			c.classOf[m] = -1
+		}
+	}
+}
+
+// localPass is step 3 (§3.4): for each candidate pair, walk the child's
+// defining block backward to see whether the parent's last use comes after
+// the child's definition. Each block is scanned once, covering all of its
+// pairs. It returns the number of members split.
+func (c *coalescer) localPass(pairs []pair) int {
+	if len(pairs) == 0 {
+		return 0
+	}
+	byBlock := make(map[ir.BlockID][]pair)
+	var order []ir.BlockID
+	for _, pr := range pairs {
+		b := c.defBlock[pr.c]
+		if _, ok := byBlock[b]; !ok {
+			order = append(order, b)
+		}
+		byBlock[b] = append(byBlock[b], pr)
+	}
+
+	splits := 0
+	for _, bid := range order {
+		prs := byBlock[bid]
+		// One backward scan records the last non-φ use of every parent
+		// variable queried in this block. φ arguments are uses on incoming
+		// edges, not in this block, so they are skipped.
+		lastUse := make(map[ir.VarID]int32)
+		for _, pr := range prs {
+			lastUse[pr.p] = -1
+		}
+		blk := c.f.Blocks[bid]
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			in := &blk.Instrs[i]
+			if in.Op == ir.OpPhi {
+				break // φ prefix reached
+			}
+			for _, a := range in.Args {
+				if lu, ok := lastUse[a]; ok && lu < int32(i) {
+					lastUse[a] = int32(i)
+				}
+			}
+		}
+		for _, pr := range prs {
+			if !c.sameClass(pr.p, pr.c) {
+				continue // an earlier split already separated them
+			}
+			conflict := false
+			if c.isPhiDef[pr.c] {
+				// The parent is live-in, hence live at the φ definition.
+				conflict = true
+			} else {
+				conflict = lastUse[pr.p] > c.defIdx[pr.c]
+			}
+			if !conflict {
+				continue
+			}
+			victim := pr.p
+			if c.splitCost(pr.c) < c.splitCost(pr.p) {
+				victim = pr.c
+			}
+			c.resolve(c.classOf[pr.p], pr.p, pr.c, victim)
+			c.st.LocalSplits++
+			splits++
+		}
+	}
+	return splits
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/ssa"
+)
+
+// rewrite is step 4 (§3.5–3.6): give every class one name, rewrite the
+// code, delete the φ-nodes, and materialize the pending copies. Copies are
+// not inserted until now — they are staged per block in the Waiting array
+// and sequentialized as parallel copies, which resolves the swap and
+// virtual-swap orderings and saves values a terminator still reads.
+func (c *coalescer) rewrite() {
+	f := c.f
+	nv := f.NumVars()
+
+	// One representative name per class; singletons keep their own name.
+	rep := make([]ir.VarID, nv)
+	for v := 0; v < nv; v++ {
+		rep[v] = ir.VarID(v)
+	}
+	for _, ms := range c.members {
+		if len(ms) < 2 {
+			continue
+		}
+		r := ms[0]
+		for _, m := range ms[1:] {
+			if m < r {
+				r = m
+			}
+		}
+		for _, m := range ms {
+			rep[m] = r
+		}
+	}
+
+	// Stage the copies: one per φ argument whose class differs from the
+	// φ's class, destined for the end of the feeding predecessor.
+	waiting := make([][]ssa.Copy, len(f.Blocks))
+	for pi := range c.phis {
+		in := c.phiInstr(int32(pi))
+		blk := f.Blocks[c.phis[pi].block]
+		for i, a := range in.Args {
+			if c.sameClass(in.Def, a) {
+				continue
+			}
+			pred := blk.Preds[i]
+			waiting[pred] = append(waiting[pred], ssa.Copy{Dst: rep[in.Def], Src: rep[a]})
+		}
+	}
+
+	// Rewrite names, drop φ-nodes and self-copies.
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Op == ir.OpPhi {
+				continue
+			}
+			if in.Op.HasDef() {
+				in.Def = rep[in.Def]
+			}
+			for ai := range in.Args {
+				in.Args[ai] = rep[in.Args[ai]]
+			}
+			if in.Op == ir.OpCopy && in.Def == in.Args[0] {
+				continue // name coalescing made this copy redundant
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+
+	// Materialize the Waiting array.
+	newTemp := func() ir.VarID {
+		c.st.TempsCreated++
+		return f.NewVar("")
+	}
+	for bi, copies := range waiting {
+		if len(copies) == 0 {
+			continue
+		}
+		blk := f.Blocks[bi]
+		before := len(blk.Instrs)
+		ssa.InsertCopiesAtEnd(f, blk, copies, newTemp)
+		c.st.CopiesInserted += len(blk.Instrs) - before
+	}
+}

@@ -1,0 +1,211 @@
+// Package dom computes dominator information for an ir.Func: immediate
+// dominators (the Cooper-Harvey-Kennedy iterative algorithm), the dominator
+// tree with Tarjan-style preorder/max-preorder numbering for O(1) ancestry
+// queries, dominance frontiers (Cytron et al.), and natural-loop nesting
+// depths.
+//
+// The preorder/max-preorder numbering is the "done only once for the whole
+// SSA" preprocessing step of the paper's dominance-forest construction
+// (Figure 1): block A strictly dominates block B exactly when
+// pre(A) < pre(B) <= maxpre(A).
+package dom
+
+import "fastcoalesce/internal/ir"
+
+// Tree holds dominator information for a function whose blocks are all
+// reachable from the entry (run ir.Func.RemoveUnreachable first).
+type Tree struct {
+	f *ir.Func
+
+	// Idom[b] is the immediate dominator of block b; the entry block's
+	// Idom is ir.NoBlock.
+	Idom []ir.BlockID
+
+	// Children[b] lists the blocks immediately dominated by b.
+	Children [][]ir.BlockID
+
+	// Pre[b] and MaxPre[b] are the dominator-tree preorder number of b and
+	// the largest preorder number among b's dominator-tree descendants.
+	Pre    []int32
+	MaxPre []int32
+
+	// RPO is a reverse postorder over the CFG; RPONum[b] is b's position.
+	RPO    []ir.BlockID
+	RPONum []int32
+}
+
+// New computes the dominator tree of f.
+func New(f *ir.Func) *Tree {
+	n := len(f.Blocks)
+	t := &Tree{
+		f:      f,
+		Idom:   make([]ir.BlockID, n),
+		Pre:    make([]int32, n),
+		MaxPre: make([]int32, n),
+		RPONum: make([]int32, n),
+	}
+	t.computeRPO()
+	t.computeIdom()
+	t.buildTree()
+	return t
+}
+
+// computeRPO fills RPO/RPONum with an iterative postorder DFS, reversed.
+func (t *Tree) computeRPO() {
+	f := t.f
+	n := len(f.Blocks)
+	post := make([]ir.BlockID, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		b ir.BlockID
+		i int
+	}
+	stack := []frame{{f.Entry, 0}}
+	state[f.Entry] = 1
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := f.Blocks[fr.b].Succs
+		if fr.i < len(succs) {
+			s := succs[fr.i]
+			fr.i++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		state[fr.b] = 2
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	t.RPO = make([]ir.BlockID, len(post))
+	for i, b := range post {
+		t.RPO[len(post)-1-i] = b
+	}
+	for i, b := range t.RPO {
+		t.RPONum[b] = int32(i)
+	}
+}
+
+// computeIdom runs the Cooper-Harvey-Kennedy "engineered" iterative
+// dominator algorithm over reverse postorder.
+func (t *Tree) computeIdom() {
+	f := t.f
+	for i := range t.Idom {
+		t.Idom[i] = ir.NoBlock
+	}
+	t.Idom[f.Entry] = f.Entry // temporary self-loop simplifies intersect
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.RPO {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom ir.BlockID = ir.NoBlock
+			for _, p := range f.Blocks[b].Preds {
+				if t.Idom[p] == ir.NoBlock {
+					continue // unprocessed this round
+				}
+				if newIdom == ir.NoBlock {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != ir.NoBlock && t.Idom[b] != newIdom {
+				t.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.Idom[f.Entry] = ir.NoBlock
+}
+
+func (t *Tree) intersect(a, b ir.BlockID) ir.BlockID {
+	for a != b {
+		for t.RPONum[a] > t.RPONum[b] {
+			a = t.Idom[a]
+		}
+		for t.RPONum[b] > t.RPONum[a] {
+			b = t.Idom[b]
+		}
+	}
+	return a
+}
+
+// buildTree fills Children and the preorder/max-preorder numbering.
+func (t *Tree) buildTree() {
+	f := t.f
+	n := len(f.Blocks)
+	t.Children = make([][]ir.BlockID, n)
+	for b := 0; b < n; b++ {
+		id := t.Idom[b]
+		if id != ir.NoBlock {
+			t.Children[id] = append(t.Children[id], ir.BlockID(b))
+		}
+	}
+	// Iterative preorder DFS over the dominator tree. MaxPre is computed
+	// on the way back up (Tarjan's trick from the paper's Figure 1).
+	var next int32
+	type frame struct {
+		b ir.BlockID
+		i int
+	}
+	stack := []frame{{f.Entry, 0}}
+	t.Pre[f.Entry] = next
+	next++
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		kids := t.Children[fr.b]
+		if fr.i < len(kids) {
+			c := kids[fr.i]
+			fr.i++
+			t.Pre[c] = next
+			next++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		t.MaxPre[fr.b] = next - 1
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *Tree) Dominates(a, b ir.BlockID) bool {
+	return t.Pre[a] <= t.Pre[b] && t.Pre[b] <= t.MaxPre[a]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *Tree) StrictlyDominates(a, b ir.BlockID) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// Frontiers computes the dominance frontier of every block using the
+// Cytron et al. two-predecessor walk.
+func (t *Tree) Frontiers() [][]ir.BlockID {
+	f := t.f
+	n := len(f.Blocks)
+	df := make([][]ir.BlockID, n)
+	inDF := make([]ir.BlockID, n) // last block added to df[x], to dedupe
+	for i := range inDF {
+		inDF[i] = ir.NoBlock
+	}
+	for b := 0; b < n; b++ {
+		blk := f.Blocks[b]
+		if len(blk.Preds) < 2 {
+			continue
+		}
+		for _, p := range blk.Preds {
+			runner := p
+			for runner != t.Idom[ir.BlockID(b)] && runner != ir.NoBlock {
+				if inDF[runner] != ir.BlockID(b) {
+					inDF[runner] = ir.BlockID(b)
+					df[runner] = append(df[runner], ir.BlockID(b))
+				}
+				runner = t.Idom[runner]
+			}
+		}
+	}
+	return df
+}

@@ -1,0 +1,120 @@
+package dom
+
+import "fastcoalesce/internal/ir"
+
+// Loop describes one natural loop.
+type Loop struct {
+	Header ir.BlockID
+	Body   []ir.BlockID // includes the header
+}
+
+// LoopInfo holds the natural loops of a function and per-block nesting
+// depths. The interference-graph coalescer uses Depth to coalesce copies
+// out of innermost loops first (§4.3), and the static-copy tables weight
+// copies by depth.
+type LoopInfo struct {
+	Loops []Loop
+	Depth []int32 // Depth[b] = number of natural loops containing block b
+
+	headers []bool // per block: is a natural-loop header
+}
+
+// FindLoops detects natural loops from back edges (an edge d->h where h
+// dominates d) and merges loops that share a header.
+func (t *Tree) FindLoops() *LoopInfo {
+	f := t.f
+	n := len(f.Blocks)
+	li := &LoopInfo{Depth: make([]int32, n)}
+
+	// Gather back-edge sources per header, in block order for determinism.
+	backSrcs := make(map[ir.BlockID][]ir.BlockID)
+	var headers []ir.BlockID
+	for b := 0; b < n; b++ {
+		for _, s := range f.Blocks[b].Succs {
+			if t.Dominates(s, ir.BlockID(b)) {
+				if _, ok := backSrcs[s]; !ok {
+					headers = append(headers, s)
+				}
+				backSrcs[s] = append(backSrcs[s], ir.BlockID(b))
+			}
+		}
+	}
+
+	li.headers = make([]bool, n)
+	for _, h := range headers {
+		li.headers[h] = true
+	}
+
+	inBody := make([]bool, n)
+	for _, h := range headers {
+		for i := range inBody {
+			inBody[i] = false
+		}
+		inBody[h] = true
+		var stack []ir.BlockID
+		for _, d := range backSrcs[h] {
+			if !inBody[d] {
+				inBody[d] = true
+				stack = append(stack, d)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range f.Blocks[b].Preds {
+				if !inBody[p] {
+					inBody[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		loop := Loop{Header: h}
+		for b := 0; b < n; b++ {
+			if inBody[b] {
+				loop.Body = append(loop.Body, ir.BlockID(b))
+				li.Depth[b]++
+			}
+		}
+		li.Loops = append(li.Loops, loop)
+	}
+	return li
+}
+
+// EstimateFrequencies produces a static execution-frequency estimate per
+// block: the entry runs once, a conditional branch splits its frequency
+// evenly across successors, and every natural-loop header multiplies the
+// incoming frequency by 10 (the classic "10 iterations per loop" guess
+// behind Chaitin-style spill costs). Back edges are ignored during
+// propagation, so the computation is a single reverse-postorder sweep.
+//
+// Unlike raw loop depth, this distinguishes a conditionally executed arm
+// inside a loop from the always-executed latch — which is what copy-
+// placement decisions need.
+func (t *Tree) EstimateFrequencies(li *LoopInfo) []float64 {
+	f := t.f
+	n := len(f.Blocks)
+	freq := make([]float64, n)
+	freq[f.Entry] = 1
+	for _, b := range t.RPO {
+		if b == f.Entry {
+			continue
+		}
+		sum := 0.0
+		for _, p := range f.Blocks[b].Preds {
+			if t.RPONum[p] < t.RPONum[b] { // forward edge
+				sum += freq[p] / float64(len(f.Blocks[p].Succs))
+			}
+		}
+		if li.headers[b] {
+			if sum == 0 {
+				sum = 1 // irreducible entry: degrade gracefully
+			}
+			sum *= 10
+		}
+		if sum < 1e-9 {
+			sum = 1e-9
+		}
+		freq[b] = sum
+	}
+	return freq
+}

@@ -1,0 +1,125 @@
+// Package domforest implements the dominance forest, the data structure
+// the paper introduces (§3.2, Figure 1) to avoid pairwise interference
+// checks within a congruence class.
+//
+// Given a set S of SSA variables, no two of which are defined in the same
+// block, the dominance forest DF(S) has one node per variable and an edge
+// Bi -> Bj exactly when Bi strictly dominates Bj and no other member's
+// block lies between them on the dominator-tree path. Lemma 3.1 then lets
+// the coalescer check interference only along forest edges: if a parent
+// does not interfere with its child, it cannot interfere with any of the
+// child's descendants.
+//
+// Construction is linear in |S|: variables are ordered by the preorder
+// number of their defining blocks (a counting sort, since preorder numbers
+// are bounded by the block count), and a stack sweep attaches each node
+// under the nearest enclosing ancestor, using the preorder/max-preorder
+// interval test for O(1) ancestry.
+package domforest
+
+import (
+	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/ir"
+)
+
+// Node is one variable in the forest.
+type Node struct {
+	Var      ir.VarID
+	Block    ir.BlockID // the variable's defining block
+	Parent   int        // index of parent node, or -1 for roots
+	Children []int      // indices of child nodes
+}
+
+// Forest is a dominance forest over a variable set.
+type Forest struct {
+	Nodes []Node
+	Roots []int
+}
+
+// Build constructs the dominance forest for vars. defBlock maps each
+// variable to its defining block; the blocks must be pairwise distinct
+// (Definition 3.1) and the variables' order need not be sorted.
+func Build(dt *dom.Tree, vars []ir.VarID, defBlock func(ir.VarID) ir.BlockID) *Forest {
+	n := len(vars)
+	f := &Forest{Nodes: make([]Node, n)}
+	for i, v := range vars {
+		f.Nodes[i] = Node{Var: v, Block: defBlock(v), Parent: -1}
+	}
+
+	// Counting sort of node indices by preorder number of defining block.
+	// Preorder numbers are < the number of CFG blocks, so this is linear.
+	order := sortByPreorder(f.Nodes, dt)
+
+	// Stack sweep (Figure 1). The virtual root is index -1 with an
+	// unbounded preorder interval; it is "removed" at the end simply by
+	// treating its children as roots.
+	type entry struct {
+		node   int
+		maxPre int32
+	}
+	stack := []entry{{node: -1, maxPre: int32(1<<31 - 1)}}
+	for _, ni := range order {
+		pre := dt.Pre[f.Nodes[ni].Block]
+		for pre > stack[len(stack)-1].maxPre {
+			stack = stack[:len(stack)-1]
+		}
+		parent := stack[len(stack)-1].node
+		f.Nodes[ni].Parent = parent
+		if parent < 0 {
+			f.Roots = append(f.Roots, ni)
+		} else {
+			f.Nodes[parent].Children = append(f.Nodes[parent].Children, ni)
+		}
+		stack = append(stack, entry{node: ni, maxPre: dt.MaxPre[f.Nodes[ni].Block]})
+	}
+	return f
+}
+
+// sortByPreorder returns node indices ordered by increasing preorder
+// number of their defining blocks — the radix/counting sort noted in §3.7.
+// Small sets use insertion sort; larger sets use a counting sort over the
+// occupied preorder range, so the cost stays proportional to the set, not
+// to the whole CFG.
+func sortByPreorder(nodes []Node, dt *dom.Tree) []int {
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if n < 24 {
+		for i := 1; i < n; i++ {
+			j := i
+			for j > 0 && dt.Pre[nodes[order[j-1]].Block] > dt.Pre[nodes[order[j]].Block] {
+				order[j-1], order[j] = order[j], order[j-1]
+				j--
+			}
+		}
+		return order
+	}
+	minPre, maxPre := dt.Pre[nodes[0].Block], dt.Pre[nodes[0].Block]
+	for i := 1; i < n; i++ {
+		p := dt.Pre[nodes[i].Block]
+		if p < minPre {
+			minPre = p
+		}
+		if p > maxPre {
+			maxPre = p
+		}
+	}
+	count := make([]int32, maxPre-minPre+2)
+	for i := range nodes {
+		count[dt.Pre[nodes[i].Block]-minPre+1]++
+	}
+	for i := 1; i < len(count); i++ {
+		count[i] += count[i-1]
+	}
+	for i := range nodes {
+		p := dt.Pre[nodes[i].Block] - minPre
+		order[count[p]] = i
+		count[p]++
+	}
+	return order
+}

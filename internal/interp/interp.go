@@ -1,0 +1,248 @@
+// Package interp executes IR functions. It is the measurement substrate
+// for the paper's efficacy experiments: Table 4 counts the copy operations
+// a program executes, which requires actually running the rewritten code.
+// It also serves as the correctness oracle for the whole pipeline — the
+// original program and every SSA-roundtripped variant must compute the
+// same result on the same inputs.
+//
+// The interpreter understands φ-nodes (with parallel-read semantics on
+// block entry), so it can execute programs at any pipeline stage.
+//
+// Semantics are total and deterministic: division and remainder by zero
+// yield zero, and array indices wrap modulo the array length (an empty
+// array loads zero and ignores stores).
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"fastcoalesce/internal/ir"
+)
+
+// ErrFuel is returned when execution exceeds the instruction budget.
+var ErrFuel = errors.New("interp: fuel exhausted")
+
+// Counts tallies executed operations.
+type Counts struct {
+	Instrs int64 // total instructions executed (φ-nodes excluded)
+	Copies int64 // OpCopy instructions executed
+	Phis   int64 // φ-nodes evaluated
+	Blocks int64 // basic blocks entered
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Ret    int64
+	Arrays [][]int64 // final array contents, indexed by ArrID
+	// ParamArrays are the final contents of the array parameters, in
+	// parameter order — the externally visible memory effect. (Arrays may
+	// additionally contain function-local arrays such as a register
+	// allocator's spill area.)
+	ParamArrays [][]int64
+	Counts      Counts
+}
+
+// Run executes f with the given scalar arguments and array arguments.
+// Array contents are copied, so inputs are never mutated. fuel bounds the
+// number of executed instructions.
+func Run(f *ir.Func, args []int64, arrays [][]int64, fuel int64) (*Result, error) {
+	if len(args) < len(f.Params) {
+		return nil, fmt.Errorf("interp: %s needs %d scalar args, got %d",
+			f.Name, len(f.Params), len(args))
+	}
+	if len(arrays) < len(f.ArrParams) {
+		return nil, fmt.Errorf("interp: %s needs %d array args, got %d",
+			f.Name, len(f.ArrParams), len(arrays))
+	}
+
+	regs := make([]int64, f.NumVars())
+	mem := make([][]int64, f.NumArrs())
+	for i, a := range f.ArrParams {
+		mem[a] = append([]int64(nil), arrays[i]...)
+	}
+	// Function-local arrays (e.g. a register allocator's spill area).
+	for a := range mem {
+		if mem[a] == nil && a < len(f.ArrLens) && f.ArrLens[a] > 0 {
+			mem[a] = make([]int64, f.ArrLens[a])
+		}
+	}
+
+	res := &Result{}
+	cur := f.Entry
+	prev := ir.NoBlock
+	// edgeOrd is the ordinal of the taken edge among parallel (prev, cur)
+	// edges; ir.Func.AddEdge appends to Succs and Preds in lockstep, so the
+	// k-th (prev, cur) entry in prev.Succs pairs with the k-th prev entry
+	// in cur.Preds.
+	edgeOrd := 0
+	var phiTmp []int64
+
+	takeEdge := func(b *ir.Block, si int) {
+		ord := 0
+		for i := 0; i < si; i++ {
+			if b.Succs[i] == b.Succs[si] {
+				ord++
+			}
+		}
+		prev, cur, edgeOrd = b.ID, b.Succs[si], ord
+	}
+
+	for {
+		b := f.Blocks[cur]
+		res.Counts.Blocks++
+
+		// Evaluate the φ prefix with parallel-read semantics.
+		nphi := b.NumPhis()
+		if nphi > 0 {
+			pi := -1
+			seen := 0
+			for i, p := range b.Preds {
+				if p == prev {
+					if seen == edgeOrd {
+						pi = i
+						break
+					}
+					seen++
+				}
+			}
+			if pi < 0 {
+				return nil, fmt.Errorf("interp: entered b%d from non-predecessor b%d", cur, prev)
+			}
+			phiTmp = phiTmp[:0]
+			for j := 0; j < nphi; j++ {
+				phiTmp = append(phiTmp, regs[b.Instrs[j].Args[pi]])
+			}
+			for j := 0; j < nphi; j++ {
+				regs[b.Instrs[j].Def] = phiTmp[j]
+			}
+			res.Counts.Phis += int64(nphi)
+		}
+
+		for i := nphi; i < len(b.Instrs); i++ {
+			in := &b.Instrs[i]
+			res.Counts.Instrs++
+			fuel--
+			if fuel < 0 {
+				return nil, ErrFuel
+			}
+			switch in.Op {
+			case ir.OpConst:
+				regs[in.Def] = in.Const
+			case ir.OpCopy:
+				res.Counts.Copies++
+				regs[in.Def] = regs[in.Args[0]]
+			case ir.OpParam:
+				regs[in.Def] = args[in.Const]
+			case ir.OpAdd:
+				regs[in.Def] = regs[in.Args[0]] + regs[in.Args[1]]
+			case ir.OpSub:
+				regs[in.Def] = regs[in.Args[0]] - regs[in.Args[1]]
+			case ir.OpMul:
+				regs[in.Def] = regs[in.Args[0]] * regs[in.Args[1]]
+			case ir.OpDiv:
+				if d := regs[in.Args[1]]; d != 0 {
+					if regs[in.Args[0]] == -1<<63 && d == -1 {
+						regs[in.Def] = -1 << 63
+					} else {
+						regs[in.Def] = regs[in.Args[0]] / d
+					}
+				} else {
+					regs[in.Def] = 0
+				}
+			case ir.OpRem:
+				if d := regs[in.Args[1]]; d != 0 {
+					if regs[in.Args[0]] == -1<<63 && d == -1 {
+						regs[in.Def] = 0
+					} else {
+						regs[in.Def] = regs[in.Args[0]] % d
+					}
+				} else {
+					regs[in.Def] = 0
+				}
+			case ir.OpNeg:
+				regs[in.Def] = -regs[in.Args[0]]
+			case ir.OpNot:
+				regs[in.Def] = b2i(regs[in.Args[0]] == 0)
+			case ir.OpCmpEQ:
+				regs[in.Def] = b2i(regs[in.Args[0]] == regs[in.Args[1]])
+			case ir.OpCmpNE:
+				regs[in.Def] = b2i(regs[in.Args[0]] != regs[in.Args[1]])
+			case ir.OpCmpLT:
+				regs[in.Def] = b2i(regs[in.Args[0]] < regs[in.Args[1]])
+			case ir.OpCmpLE:
+				regs[in.Def] = b2i(regs[in.Args[0]] <= regs[in.Args[1]])
+			case ir.OpCmpGT:
+				regs[in.Def] = b2i(regs[in.Args[0]] > regs[in.Args[1]])
+			case ir.OpCmpGE:
+				regs[in.Def] = b2i(regs[in.Args[0]] >= regs[in.Args[1]])
+			case ir.OpALoad:
+				a := mem[in.Arr]
+				if len(a) == 0 {
+					regs[in.Def] = 0
+				} else {
+					regs[in.Def] = a[wrap(regs[in.Args[0]], len(a))]
+				}
+			case ir.OpAStore:
+				a := mem[in.Arr]
+				if len(a) > 0 {
+					a[wrap(regs[in.Args[0]], len(a))] = regs[in.Args[1]]
+				}
+			case ir.OpALen:
+				regs[in.Def] = int64(len(mem[in.Arr]))
+			case ir.OpJmp:
+				takeEdge(b, 0)
+			case ir.OpBr:
+				if regs[in.Args[0]] != 0 {
+					takeEdge(b, 0)
+				} else {
+					takeEdge(b, 1)
+				}
+			case ir.OpRet:
+				res.Ret = regs[in.Args[0]]
+				res.Arrays = mem
+				for _, a := range f.ArrParams {
+					res.ParamArrays = append(res.ParamArrays, mem[a])
+				}
+				return res, nil
+			default:
+				return nil, fmt.Errorf("interp: bad opcode %s", in.Op)
+			}
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func wrap(idx int64, n int) int64 {
+	m := idx % int64(n)
+	if m < 0 {
+		m += int64(n)
+	}
+	return m
+}
+
+// SameResult reports whether two results agree on the return value and on
+// the externally visible memory effect (the array parameters' final
+// contents). Function-local arrays and counts are ignored.
+func SameResult(a, b *Result) bool {
+	if a.Ret != b.Ret || len(a.ParamArrays) != len(b.ParamArrays) {
+		return false
+	}
+	for i := range a.ParamArrays {
+		if len(a.ParamArrays[i]) != len(b.ParamArrays[i]) {
+			return false
+		}
+		for j := range a.ParamArrays[i] {
+			if a.ParamArrays[i][j] != b.ParamArrays[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,314 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"fastcoalesce/internal/ir"
+)
+
+func TestArithmetic(t *testing.T) {
+	// ret (a+b)*(a-b) for params a=7, b=3 => 40
+	f := ir.NewFunc("arith")
+	a, b := f.NewVar("a"), f.NewVar("b")
+	s, d, r := f.NewVar("s"), f.NewVar("d"), f.NewVar("r")
+	f.Params = []ir.VarID{a, b}
+	bld := ir.NewBuilder(f)
+	bld.Param(a, 0)
+	bld.Param(b, 1)
+	bld.Binop(ir.OpAdd, s, a, b)
+	bld.Binop(ir.OpSub, d, a, b)
+	bld.Binop(ir.OpMul, r, s, d)
+	bld.Ret(r)
+	res, err := Run(f, []int64{7, 3}, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 40 {
+		t.Fatalf("Ret = %d, want 40", res.Ret)
+	}
+}
+
+func TestDivRemByZeroTotal(t *testing.T) {
+	f := ir.NewFunc("div0")
+	a, z, q, r, s := f.NewVar("a"), f.NewVar("z"), f.NewVar("q"), f.NewVar("r"), f.NewVar("s")
+	bld := ir.NewBuilder(f)
+	bld.Const(a, 42)
+	bld.Const(z, 0)
+	bld.Binop(ir.OpDiv, q, a, z)
+	bld.Binop(ir.OpRem, r, a, z)
+	bld.Binop(ir.OpAdd, s, q, r)
+	bld.Ret(s)
+	res, err := Run(f, nil, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0 {
+		t.Fatalf("x/0 + x%%0 = %d, want 0", res.Ret)
+	}
+}
+
+func TestMinInt64Div(t *testing.T) {
+	f := ir.NewFunc("mindiv")
+	a, m, q, r, s := f.NewVar("a"), f.NewVar("m"), f.NewVar("q"), f.NewVar("r"), f.NewVar("s")
+	bld := ir.NewBuilder(f)
+	bld.Const(a, -1<<63)
+	bld.Const(m, -1)
+	bld.Binop(ir.OpDiv, q, a, m)
+	bld.Binop(ir.OpRem, r, a, m)
+	bld.Binop(ir.OpAdd, s, q, r)
+	bld.Ret(s)
+	res, err := Run(f, nil, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != -1<<63 {
+		t.Fatalf("MinInt64/-1 + rem = %d, want MinInt64", res.Ret)
+	}
+}
+
+// buildCountdown: for i=n; i>0; i-- { sum += i }; ret sum
+func buildCountdown(t *testing.T) *ir.Func {
+	t.Helper()
+	f := ir.NewFunc("count")
+	n := f.NewVar("n")
+	i, sum, c, one := f.NewVar("i"), f.NewVar("sum"), f.NewVar("c"), f.NewVar("one")
+	f.Params = []ir.VarID{n}
+	bld := ir.NewBuilder(f)
+	head, body, exit := bld.NewBlock(), bld.NewBlock(), bld.NewBlock()
+	bld.Param(n, 0)
+	bld.Const(sum, 0)
+	bld.Const(one, 1)
+	bld.Copy(i, n)
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	bld.Const(c, 0)
+	bld.Binop(ir.OpCmpGT, c, i, c)
+	bld.Br(c, body, exit)
+	bld.SetBlock(body)
+	bld.Binop(ir.OpAdd, sum, sum, i)
+	bld.Binop(ir.OpSub, i, i, one)
+	bld.Jmp(head)
+	bld.SetBlock(exit)
+	bld.Ret(sum)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLoop(t *testing.T) {
+	f := buildCountdown(t)
+	res, err := Run(f, []int64{10}, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 55 {
+		t.Fatalf("sum(1..10) = %d, want 55", res.Ret)
+	}
+	if res.Counts.Copies != 1 {
+		t.Fatalf("Copies = %d, want 1 (i = n)", res.Counts.Copies)
+	}
+	if res.Counts.Blocks != 1+11+10+1 {
+		t.Fatalf("Blocks = %d, want 23", res.Counts.Blocks)
+	}
+}
+
+func TestFuel(t *testing.T) {
+	f := buildCountdown(t)
+	_, err := Run(f, []int64{1 << 40}, nil, 100)
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	// x[0] = x[1] + x[2]; negative and OOB indices wrap; ret x[0]
+	f := ir.NewFunc("arr")
+	x := f.NewArr("x")
+	f.ArrParams = []ir.ArrID{x}
+	i0, i1, i2, a, b, s := f.NewVar("i0"), f.NewVar("i1"), f.NewVar("i2"), f.NewVar("a"), f.NewVar("b"), f.NewVar("s")
+	bld := ir.NewBuilder(f)
+	bld.Const(i0, 0)
+	bld.Const(i1, 1)
+	bld.Const(i2, -1) // wraps to len-1 == 2
+	bld.ALoad(a, x, i1)
+	bld.ALoad(b, x, i2)
+	bld.Binop(ir.OpAdd, s, a, b)
+	bld.AStore(x, i0, s)
+	bld.ALoad(s, x, i0)
+	bld.Ret(s)
+	input := []int64{100, 20, 3}
+	res, err := Run(f, nil, [][]int64{input}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 23 {
+		t.Fatalf("Ret = %d, want 23", res.Ret)
+	}
+	if res.Arrays[0][0] != 23 {
+		t.Fatalf("x[0] = %d, want 23", res.Arrays[0][0])
+	}
+	if input[0] != 100 {
+		t.Fatal("input array was mutated")
+	}
+}
+
+func TestEmptyArrayTotal(t *testing.T) {
+	f := ir.NewFunc("empty")
+	x := f.NewArr("x")
+	f.ArrParams = []ir.ArrID{x}
+	i, v, l, s := f.NewVar("i"), f.NewVar("v"), f.NewVar("l"), f.NewVar("s")
+	bld := ir.NewBuilder(f)
+	bld.Const(i, 5)
+	bld.AStore(x, i, i)
+	bld.ALoad(v, x, i)
+	bld.ALen(l, x)
+	bld.Binop(ir.OpAdd, s, v, l)
+	bld.Ret(s)
+	res, err := Run(f, nil, [][]int64{{}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0 {
+		t.Fatalf("Ret = %d, want 0", res.Ret)
+	}
+}
+
+func TestPhiExecution(t *testing.T) {
+	// b0: c=param; br c b1 b2 ; b1: a=10; jmp b3 ; b2: b=20; jmp b3
+	// b3: p=phi(b1:a, b2:b); ret p
+	f := ir.NewFunc("phi")
+	c, a, b, p := f.NewVar("c"), f.NewVar("a"), f.NewVar("b"), f.NewVar("p")
+	f.Params = []ir.VarID{c}
+	bld := ir.NewBuilder(f)
+	b1, b2, b3 := bld.NewBlock(), bld.NewBlock(), bld.NewBlock()
+	bld.Param(c, 0)
+	bld.Br(c, b1, b2)
+	bld.SetBlock(b1)
+	bld.Const(a, 10)
+	bld.Jmp(b3)
+	bld.SetBlock(b2)
+	bld.Const(b, 20)
+	bld.Jmp(b3)
+	bld.SetBlock(b3)
+	bld.Ret(p)
+	ir.Phi(b3, p, []ir.VarID{a, b})
+
+	res, err := Run(f, []int64{1}, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 10 {
+		t.Fatalf("taken branch: Ret = %d, want 10", res.Ret)
+	}
+	res, err = Run(f, []int64{0}, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 20 {
+		t.Fatalf("fallthrough: Ret = %d, want 20", res.Ret)
+	}
+	if res.Counts.Phis != 1 {
+		t.Fatalf("Phis = %d, want 1", res.Counts.Phis)
+	}
+}
+
+func TestPhiSwapParallelSemantics(t *testing.T) {
+	// Loop that swaps x and y through φ-nodes each iteration; parallel
+	// semantics are required for correctness.
+	// b0: x0=1; y0=2; i0=0; jmp b1
+	// b1: x1=phi(x0, y1); y1=phi(y0, x1); i1=phi(i0,i2); c = i1 < 3;
+	//     br c b2 b3
+	// b2: i2 = i1 + 1; jmp b1
+	// b3: ret x1  (after 3 swaps: x=2)
+	f := ir.NewFunc("swap")
+	x0, y0, i0 := f.NewVar("x0"), f.NewVar("y0"), f.NewVar("i0")
+	x1, y1 := f.NewVar("x1"), f.NewVar("y1")
+	i1, i2, c, three, one := f.NewVar("i1"), f.NewVar("i2"), f.NewVar("c"), f.NewVar("three"), f.NewVar("one")
+	bld := ir.NewBuilder(f)
+	b1, b2, b3 := bld.NewBlock(), bld.NewBlock(), bld.NewBlock()
+	bld.Const(x0, 1)
+	bld.Const(y0, 2)
+	bld.Const(i0, 0)
+	bld.Const(three, 3)
+	bld.Const(one, 1)
+	bld.Jmp(b1)
+	bld.SetBlock(b1)
+	bld.Binop(ir.OpCmpLT, c, i1, three)
+	bld.Br(c, b2, b3)
+	bld.SetBlock(b2)
+	bld.Binop(ir.OpAdd, i2, i1, one)
+	bld.Jmp(b1)
+	bld.SetBlock(b3)
+	bld.Ret(x1)
+	// Insert φs in reverse order (each prepends).
+	ir.Phi(b1, i1, []ir.VarID{i0, i2})
+	ir.Phi(b1, y1, []ir.VarID{y0, x1})
+	ir.Phi(b1, x1, []ir.VarID{x0, y1})
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(f, nil, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterations: (1,2) -> (2,1) -> (1,2) -> (2,1); exits with x1=2.
+	if res.Ret != 2 {
+		t.Fatalf("Ret = %d, want 2 (parallel φ reads)", res.Ret)
+	}
+}
+
+func TestSameResult(t *testing.T) {
+	a := &Result{Ret: 1, ParamArrays: [][]int64{{1, 2}}}
+	b := &Result{Ret: 1, ParamArrays: [][]int64{{1, 2}}}
+	if !SameResult(a, b) {
+		t.Fatal("identical results differ")
+	}
+	b.ParamArrays[0][1] = 3
+	if SameResult(a, b) {
+		t.Fatal("different arrays compare equal")
+	}
+	b.ParamArrays[0][1] = 2
+	b.Ret = 2
+	if SameResult(a, b) {
+		t.Fatal("different returns compare equal")
+	}
+	// A function-local array (e.g. spill area) must not affect equality.
+	b.Ret = 1
+	b.Arrays = [][]int64{{9, 9}, {0}}
+	if !SameResult(a, b) {
+		t.Fatal("local arrays leaked into comparison")
+	}
+}
+
+func TestCountsCoherent(t *testing.T) {
+	f := buildCountdown(t)
+	res, err := Run(f, []int64{6}, nil, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry + 7 header visits + 6 bodies + exit.
+	if res.Counts.Blocks != 15 {
+		t.Fatalf("Blocks = %d, want 15", res.Counts.Blocks)
+	}
+	if res.Counts.Phis != 0 {
+		t.Fatalf("Phis = %d in φ-free code", res.Counts.Phis)
+	}
+	if res.Counts.Copies > res.Counts.Instrs {
+		t.Fatal("copies exceed instructions")
+	}
+	// Re-running must produce identical counts (determinism).
+	res2, _ := Run(f, []int64{6}, nil, 100000)
+	if res2.Counts != res.Counts {
+		t.Fatalf("counts not deterministic: %+v vs %+v", res.Counts, res2.Counts)
+	}
+}
+
+func TestRunRejectsMissingArgs(t *testing.T) {
+	f := buildCountdown(t)
+	if _, err := Run(f, nil, nil, 100); err == nil {
+		t.Fatal("missing scalar arg accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs:
+//
+//	b0: x=1; br c -> b1 b2
+//	b1: y=2; jmp b3
+//	b2: y=3; jmp b3
+//	b3: ret y
+func buildDiamond(t *testing.T) (*Func, VarID, VarID, VarID) {
+	t.Helper()
+	f := NewFunc("diamond")
+	x := f.NewVar("x")
+	y := f.NewVar("y")
+	c := f.NewVar("c")
+	bld := NewBuilder(f)
+	b1, b2, b3 := bld.NewBlock(), bld.NewBlock(), bld.NewBlock()
+	bld.Const(x, 1)
+	bld.Const(c, 0)
+	bld.Br(c, b1, b2)
+	bld.SetBlock(b1)
+	bld.Const(y, 2)
+	bld.Jmp(b3)
+	bld.SetBlock(b2)
+	bld.Const(y, 3)
+	bld.Jmp(b3)
+	bld.SetBlock(b3)
+	bld.Ret(y)
+	return f, x, y, c
+}
+
+func TestVerifyDiamond(t *testing.T) {
+	f, _, _, _ := buildDiamond(t)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	f := NewFunc("bad")
+	x := f.NewVar("x")
+	b := f.Block(f.Entry)
+	b.Instrs = append(b.Instrs, Instr{Op: OpConst, Def: x, Const: 1})
+	if err := f.Verify(); err == nil {
+		t.Fatal("Verify accepted block without terminator")
+	}
+}
+
+func TestVerifyCatchesDanglingEdge(t *testing.T) {
+	f, _, _, _ := buildDiamond(t)
+	f.Blocks[0].Succs[0] = 99
+	if err := f.Verify(); err == nil {
+		t.Fatal("Verify accepted dangling successor")
+	}
+}
+
+func TestVerifyCatchesPhiArity(t *testing.T) {
+	f, _, y, _ := buildDiamond(t)
+	Phi(f.Blocks[3], y, []VarID{y}) // b3 has two preds, φ has one arg
+	if err := f.Verify(); err == nil {
+		t.Fatal("Verify accepted φ with wrong arity")
+	}
+}
+
+func TestVerifyCatchesPhiAfterBody(t *testing.T) {
+	f, x, y, _ := buildDiamond(t)
+	b3 := f.Blocks[3]
+	phi := Instr{Op: OpPhi, Def: x, Args: []VarID{y, y}}
+	// Insert φ after the first (non-φ) instruction.
+	b3.Instrs = append([]Instr{b3.Instrs[0], phi}, b3.Instrs[1:]...)
+	if err := f.Verify(); err == nil {
+		t.Fatal("Verify accepted φ after non-φ instruction")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f, _, _, _ := buildDiamond(t)
+	dead := f.NewBlock()
+	deadVar := f.NewVar("d")
+	dead.Instrs = append(dead.Instrs,
+		Instr{Op: OpConst, Def: deadVar, Const: 9},
+		Instr{Op: OpJmp, Def: NoVar})
+	f.AddEdge(dead.ID, 3) // dead -> b3, giving b3 a third pred
+	Phi(f.Blocks[3], deadVar, []VarID{deadVar, deadVar, deadVar})
+
+	if got := f.RemoveUnreachable(); got != 1 {
+		t.Fatalf("RemoveUnreachable = %d, want 1", got)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify after removal: %v", err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(f.Blocks))
+	}
+	// The φ in b3 must have dropped the dead arg.
+	b3 := f.Blocks[3]
+	if b3.NumPhis() != 1 || len(b3.Instrs[0].Args) != 2 {
+		t.Fatalf("φ args not pruned: %v", b3.Instrs[0])
+	}
+}
+
+func TestRemoveUnreachableNoop(t *testing.T) {
+	f, _, _, _ := buildDiamond(t)
+	if got := f.RemoveUnreachable(); got != 0 {
+		t.Fatalf("RemoveUnreachable = %d, want 0", got)
+	}
+}
+
+func TestSplitCriticalEdges(t *testing.T) {
+	// b0: br -> b1, b2 ; b1 -> b2 ; b2: ret
+	// Edge b0->b2 is critical (b0 has 2 succs, b2 has 2 preds).
+	f := NewFunc("crit")
+	c := f.NewVar("c")
+	bld := NewBuilder(f)
+	b1, b2 := bld.NewBlock(), bld.NewBlock()
+	bld.Const(c, 1)
+	bld.Br(c, b1, b2)
+	bld.SetBlock(b1)
+	bld.Jmp(b2)
+	bld.SetBlock(b2)
+	bld.Ret(c)
+
+	if got := f.SplitCriticalEdges(); got != 1 {
+		t.Fatalf("SplitCriticalEdges = %d, want 1", got)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// No critical edges remain.
+	for _, b := range f.Blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for _, s := range b.Succs {
+			if len(f.Blocks[s].Preds) > 1 {
+				t.Fatalf("critical edge b%d->b%d remains", b.ID, s)
+			}
+		}
+	}
+}
+
+func TestSplitCriticalEdgesParallel(t *testing.T) {
+	// Both branch targets are the same block: two parallel critical edges.
+	f := NewFunc("par")
+	c := f.NewVar("c")
+	bld := NewBuilder(f)
+	b1 := bld.NewBlock()
+	bld.Const(c, 1)
+	bld.Br(c, b1, b1)
+	bld.SetBlock(b1)
+	bld.Ret(c)
+
+	if got := f.SplitCriticalEdges(); got != 2 {
+		t.Fatalf("SplitCriticalEdges = %d, want 2", got)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f, x, _, _ := buildDiamond(t)
+	g := f.Clone()
+	g.Blocks[0].Instrs[0].Const = 42
+	g.Blocks[0].Instrs[0].Def = x
+	g.VarNames[0] = "mutated"
+	if f.Blocks[0].Instrs[0].Const == 42 {
+		t.Fatal("Clone shares instruction storage")
+	}
+	if f.VarNames[0] == "mutated" {
+		t.Fatal("Clone shares name table")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	f, _, y, _ := buildDiamond(t)
+	if got := f.CountCopies(); got != 0 {
+		t.Fatalf("CountCopies = %d, want 0", got)
+	}
+	b1 := f.Blocks[1]
+	b1.Instrs = append([]Instr{{Op: OpCopy, Def: y, Args: []VarID{y}}}, b1.Instrs...)
+	if got := f.CountCopies(); got != 1 {
+		t.Fatalf("CountCopies = %d, want 1", got)
+	}
+	Phi(f.Blocks[3], y, []VarID{y, y})
+	if got := f.CountPhis(); got != 1 {
+		t.Fatalf("CountPhis = %d, want 1", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f, _, _, _ := buildDiamond(t)
+	s := f.String()
+	for _, want := range []string{"func diamond", "b0:", "br c b1 b2", "ret y", "x = 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpJmp.IsTerminator() || !OpBr.IsTerminator() || !OpRet.IsTerminator() {
+		t.Fatal("terminator predicate wrong")
+	}
+	if OpAdd.IsTerminator() {
+		t.Fatal("OpAdd is not a terminator")
+	}
+	if OpAStore.HasDef() || OpJmp.HasDef() || OpRet.HasDef() {
+		t.Fatal("HasDef wrong for def-less ops")
+	}
+	if !OpCopy.HasDef() || !OpPhi.HasDef() || !OpALoad.HasDef() {
+		t.Fatal("HasDef wrong for defining ops")
+	}
+}

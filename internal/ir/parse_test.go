@@ -1,0 +1,163 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleIR = `
+func samp(n, x[]) {
+b0:
+	n = param 0
+	i = 0
+	one = 1
+	jmp b1
+b1: ; preds b0 b2
+	iv = phi(b0:i, b2:inext)
+	sv = phi(b0:i, b2:snext)
+	c = cmplt iv, n
+	br c b2 b3
+b2: ; preds b1
+	e = x[iv]
+	t = mul e, e
+	snext = add sv, t
+	x[iv] = t
+	inext = add iv, one
+	jmp b1
+b3: ; preds b1
+	l = len(x)
+	r = add sv, l
+	neg1 = neg r
+	out = neg1
+	ret out
+}
+`
+
+func TestParseBasics(t *testing.T) {
+	f, err := Parse(sampleIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "samp" {
+		t.Fatalf("Name = %q", f.Name)
+	}
+	if len(f.Params) != 1 || len(f.ArrParams) != 1 {
+		t.Fatalf("params: %d scalars, %d arrays", len(f.Params), len(f.ArrParams))
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	if f.CountPhis() != 2 {
+		t.Fatalf("phis = %d, want 2", f.CountPhis())
+	}
+	if f.CountCopies() != 1 {
+		t.Fatalf("copies = %d, want 1 (out = neg1)", f.CountCopies())
+	}
+}
+
+func TestParsePhiArgsAlignWithPreds(t *testing.T) {
+	f, err := Parse(sampleIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := f.Blocks[1]
+	for j := 0; j < b1.NumPhis(); j++ {
+		phi := &b1.Instrs[j]
+		for pi, pred := range b1.Preds {
+			a := phi.Args[pi]
+			name := f.VarName(a)
+			switch pred {
+			case 0:
+				if name != "i" {
+					t.Fatalf("φ arg from b0 = %q, want i", name)
+				}
+			case 2:
+				if name != "inext" && name != "snext" {
+					t.Fatalf("φ arg from b2 = %q", name)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := Parse(sampleIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := f.String()
+	g, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text1)
+	}
+	text2 := g.String()
+	if text1 != text2 {
+		t.Fatalf("round trip unstable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no function":    "b0:\n\tret x\n",
+		"bad label":      "func f() {\nzz:\n\tret x\n}",
+		"bad jmp":        "func f() {\nb0:\n\tjmp nowhere\n}",
+		"dangling edge":  "func f() {\nb0:\n\tjmp b9\n}",
+		"unknown op":     "func f() {\nb0:\n\tx = frobnicate y, z\n\tret x\n}",
+		"outside block":  "func f() {\n\tx = 1\n}",
+		"second func":    "func f() {\nb0:\n\tx = 1\n\tret x\n}\nfunc g() {\nb0:\n\tret x\n}",
+		"phi wrong pred": "func f() {\nb0:\n\tx = 1\n\tjmp b1\nb1:\n\ty = phi(b7:x)\n\tret y\n}",
+		"no terminator":  "func f() {\nb0:\n\tx = 1\n}",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParsePrintedDiamond(t *testing.T) {
+	// Print a builder-built function and parse it back.
+	f := NewFunc("d")
+	c, r := f.NewVar("c"), f.NewVar("r")
+	f.Params = []VarID{c}
+	bld := NewBuilder(f)
+	b1, b2, b3 := bld.NewBlock(), bld.NewBlock(), bld.NewBlock()
+	bld.Param(c, 0)
+	bld.Br(c, b1, b2)
+	bld.SetBlock(b1)
+	bld.Const(r, 1)
+	bld.Jmp(b3)
+	bld.SetBlock(b2)
+	bld.Const(r, 2)
+	bld.Jmp(b3)
+	bld.SetBlock(b3)
+	bld.Ret(r)
+
+	g, err := Parse(f.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	if g.String() != f.String() {
+		t.Fatalf("mismatch:\n%s\nvs\n%s", f, g)
+	}
+}
+
+func TestParseNegativeConst(t *testing.T) {
+	f, err := Parse("func f() {\nb0:\n\tx = -42\n\tret x\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Blocks[0].Instrs[0].Const != -42 {
+		t.Fatalf("const = %d", f.Blocks[0].Instrs[0].Const)
+	}
+}
+
+func TestParseIgnoresComments(t *testing.T) {
+	f, err := Parse(strings.ReplaceAll(sampleIR, "; preds", "; some comment preds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatal("comment handling broke block parsing")
+	}
+}

@@ -1,0 +1,89 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function in a readable textual form, used by the CLI
+// dump flags, examples, and golden tests.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.VarName(p))
+	}
+	for i, a := range f.ArrParams {
+		if i > 0 || len(f.Params) > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s[]", f.ArrNames[a])
+	}
+	sb.WriteString(") {\n")
+	for _, b := range f.Blocks {
+		if b == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Preds) > 0 {
+			sb.WriteString(" ; preds")
+			for _, p := range b.Preds {
+				fmt.Fprintf(&sb, " b%d", p)
+			}
+		}
+		sb.WriteByte('\n')
+		for i := range b.Instrs {
+			sb.WriteString("\t")
+			sb.WriteString(f.instrString(b, &b.Instrs[i]))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func (f *Func) instrString(b *Block, in *Instr) string {
+	name := func(v VarID) string { return f.VarName(v) }
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = %d", name(in.Def), in.Const)
+	case OpCopy:
+		return fmt.Sprintf("%s = %s", name(in.Def), name(in.Args[0]))
+	case OpParam:
+		return fmt.Sprintf("%s = param %d", name(in.Def), in.Const)
+	case OpPhi:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s = phi(", name(in.Def))
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			pred := BlockID(-1)
+			if i < len(b.Preds) {
+				pred = b.Preds[i]
+			}
+			fmt.Fprintf(&sb, "b%d:%s", pred, name(a))
+		}
+		sb.WriteString(")")
+		return sb.String()
+	case OpALoad:
+		return fmt.Sprintf("%s = %s[%s]", name(in.Def), f.ArrNames[in.Arr], name(in.Args[0]))
+	case OpAStore:
+		return fmt.Sprintf("%s[%s] = %s", f.ArrNames[in.Arr], name(in.Args[0]), name(in.Args[1]))
+	case OpALen:
+		return fmt.Sprintf("%s = len(%s)", name(in.Def), f.ArrNames[in.Arr])
+	case OpJmp:
+		return fmt.Sprintf("jmp b%d", b.Succs[0])
+	case OpBr:
+		return fmt.Sprintf("br %s b%d b%d", name(in.Args[0]), b.Succs[0], b.Succs[1])
+	case OpRet:
+		return fmt.Sprintf("ret %s", name(in.Args[0]))
+	case OpNeg, OpNot:
+		return fmt.Sprintf("%s = %s %s", name(in.Def), in.Op, name(in.Args[0]))
+	default:
+		return fmt.Sprintf("%s = %s %s, %s", name(in.Def), in.Op, name(in.Args[0]), name(in.Args[1]))
+	}
+}

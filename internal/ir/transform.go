@@ -1,0 +1,121 @@
+package ir
+
+// RemoveUnreachable deletes blocks not reachable from the entry, compacts
+// block IDs, and drops φ arguments that flowed along deleted edges.
+// It returns the number of blocks removed.
+func (f *Func) RemoveUnreachable() int {
+	reach := make([]bool, len(f.Blocks))
+	stack := []BlockID{f.Entry}
+	reach[f.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[b].Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+
+	removed := 0
+	for id := range f.Blocks {
+		if !reach[id] {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+
+	// Drop φ args and pred entries contributed by unreachable predecessors.
+	for id, b := range f.Blocks {
+		if !reach[id] {
+			continue
+		}
+		keep := b.Preds[:0]
+		kept := make([]bool, len(b.Preds))
+		for i, p := range b.Preds {
+			if reach[p] {
+				kept[i] = true
+				keep = append(keep, p)
+			}
+		}
+		b.Preds = keep
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if in.Op != OpPhi {
+				break
+			}
+			args := in.Args[:0]
+			for i, a := range in.Args {
+				if kept[i] {
+					args = append(args, a)
+				}
+			}
+			in.Args = args
+		}
+	}
+
+	// Compact and renumber.
+	remap := make([]BlockID, len(f.Blocks))
+	var next BlockID
+	for id := range f.Blocks {
+		if reach[id] {
+			remap[id] = next
+			next++
+		} else {
+			remap[id] = NoBlock
+		}
+	}
+	blocks := make([]*Block, 0, int(next))
+	for id, b := range f.Blocks {
+		if !reach[id] {
+			continue
+		}
+		b.ID = remap[id]
+		for i := range b.Succs {
+			b.Succs[i] = remap[b.Succs[i]]
+		}
+		for i := range b.Preds {
+			b.Preds[i] = remap[b.Preds[i]]
+		}
+		blocks = append(blocks, b)
+	}
+	f.Blocks = blocks
+	f.Entry = remap[f.Entry]
+	return removed
+}
+
+// SplitCriticalEdges inserts an empty block on every critical edge — an
+// edge from a block with multiple successors to a block with multiple
+// predecessors. The paper splits critical edges up front to avoid the
+// lost-copy problem during φ-node instantiation (§3.6). φ arguments stay
+// aligned because the predecessor is replaced in place. It returns the
+// number of edges split.
+func (f *Func) SplitCriticalEdges() int {
+	split := 0
+	// Snapshot the block count: newly added blocks are never critical
+	// sources (they have exactly one successor).
+	n := len(f.Blocks)
+	for bi := 0; bi < n; bi++ {
+		b := f.Blocks[bi]
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for si, s := range b.Succs {
+			sb := f.Blocks[s]
+			if len(sb.Preds) < 2 {
+				continue
+			}
+			m := f.NewBlock()
+			m.Instrs = append(m.Instrs, Instr{Op: OpJmp, Def: NoVar})
+			m.Preds = []BlockID{b.ID}
+			m.Succs = []BlockID{s}
+			b.Succs[si] = m.ID
+			sb.Preds[sb.PredIndex(b.ID)] = m.ID
+			split++
+		}
+	}
+	return split
+}

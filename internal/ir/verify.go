@@ -1,0 +1,105 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural well-formedness of the function: edge symmetry,
+// terminator placement, φ placement and arity, and operand validity. It
+// returns the first violation found, or nil.
+func (f *Func) Verify() error {
+	if int(f.Entry) >= len(f.Blocks) || f.Entry < 0 {
+		return fmt.Errorf("%s: bad entry block b%d", f.Name, f.Entry)
+	}
+	if len(f.Blocks[f.Entry].Preds) != 0 {
+		return fmt.Errorf("%s: entry block b%d has predecessors", f.Name, f.Entry)
+	}
+	for _, b := range f.Blocks {
+		if b == nil {
+			continue
+		}
+		if err := f.verifyBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Func) verifyBlock(b *Block) error {
+	// Edge symmetry.
+	for _, s := range b.Succs {
+		if int(s) >= len(f.Blocks) || f.Blocks[s] == nil {
+			return fmt.Errorf("%s: b%d has dangling successor b%d", f.Name, b.ID, s)
+		}
+		if f.Blocks[s].PredIndex(b.ID) < 0 {
+			return fmt.Errorf("%s: edge b%d->b%d missing from preds", f.Name, b.ID, s)
+		}
+	}
+	for _, p := range b.Preds {
+		if int(p) >= len(f.Blocks) || f.Blocks[p] == nil {
+			return fmt.Errorf("%s: b%d has dangling predecessor b%d", f.Name, b.ID, p)
+		}
+		found := false
+		for _, s := range f.Blocks[p].Succs {
+			if s == b.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: edge b%d->b%d missing from succs", f.Name, p, b.ID)
+		}
+	}
+
+	// Terminator shape.
+	if len(b.Instrs) == 0 {
+		return fmt.Errorf("%s: b%d is empty", f.Name, b.ID)
+	}
+	term := b.Instrs[len(b.Instrs)-1]
+	if !term.Op.IsTerminator() {
+		return fmt.Errorf("%s: b%d does not end in a terminator (got %s)", f.Name, b.ID, term.Op)
+	}
+	wantSuccs := map[Op]int{OpJmp: 1, OpBr: 2, OpRet: 0}[term.Op]
+	if len(b.Succs) != wantSuccs {
+		return fmt.Errorf("%s: b%d terminator %s has %d successors, want %d",
+			f.Name, b.ID, term.Op, len(b.Succs), wantSuccs)
+	}
+
+	// Instruction contents.
+	inPhiPrefix := true
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		if in.Op == OpInvalid || in.Op >= numOps {
+			return fmt.Errorf("%s: b%d.%d has invalid opcode", f.Name, b.ID, i)
+		}
+		if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+			return fmt.Errorf("%s: b%d.%d terminator %s not at block end", f.Name, b.ID, i, in.Op)
+		}
+		if in.Op == OpPhi {
+			if !inPhiPrefix {
+				return fmt.Errorf("%s: b%d.%d φ-node after non-φ instruction", f.Name, b.ID, i)
+			}
+			if len(in.Args) != len(b.Preds) {
+				return fmt.Errorf("%s: b%d.%d φ has %d args for %d preds",
+					f.Name, b.ID, i, len(in.Args), len(b.Preds))
+			}
+		} else {
+			inPhiPrefix = false
+		}
+		if in.Op.HasDef() {
+			if in.Def == NoVar || int(in.Def) >= len(f.VarNames) {
+				return fmt.Errorf("%s: b%d.%d %s has bad def %d", f.Name, b.ID, i, in.Op, in.Def)
+			}
+		}
+		for _, a := range in.Args {
+			if a == NoVar || int(a) >= len(f.VarNames) {
+				return fmt.Errorf("%s: b%d.%d %s has bad arg %d", f.Name, b.ID, i, in.Op, a)
+			}
+		}
+		switch in.Op {
+		case OpALoad, OpAStore, OpALen:
+			if in.Arr == NoArr || int(in.Arr) >= len(f.ArrNames) {
+				return fmt.Errorf("%s: b%d.%d %s has bad array %d", f.Name, b.ID, i, in.Op, in.Arr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes kernel-language source. Semicolons are inserted at
+// newlines following a token that can end a statement (the Go rule), so
+// sources rarely need explicit ';'.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes src fully.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	ch := lx.src[lx.off]
+	lx.off++
+	if ch == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return ch
+}
+
+func (lx *lexer) emit(kind tokKind, text string, pos Pos) {
+	lx.toks = append(lx.toks, token{kind: kind, text: text, pos: pos})
+}
+
+// canEndStatement reports whether a token may terminate a statement, for
+// automatic semicolon insertion.
+func canEndStatement(k tokKind) bool {
+	switch k {
+	case tokIdent, tokInt, tokRParen, tokRBrace, tokRBrack, tokKwInt, tokReturn,
+		tokBreak, tokContinue:
+		return true
+	}
+	return false
+}
+
+func (lx *lexer) insertSemi() {
+	if n := len(lx.toks); n > 0 && canEndStatement(lx.toks[n-1].kind) {
+		lx.emit(tokSemi, "\n", lx.pos())
+	}
+}
+
+func (lx *lexer) run() error {
+	for lx.off < len(lx.src) {
+		ch := lx.peek()
+		pos := lx.pos()
+		switch {
+		case ch == '\n':
+			lx.advance()
+			lx.insertSemi()
+			continue
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			lx.advance()
+			continue
+		case ch == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		case unicode.IsLetter(rune(ch)) || ch == '_':
+			var sb strings.Builder
+			for lx.off < len(lx.src) {
+				c := lx.peek()
+				if !unicode.IsLetter(rune(c)) && !unicode.IsDigit(rune(c)) && c != '_' {
+					break
+				}
+				sb.WriteByte(lx.advance())
+			}
+			word := sb.String()
+			if kw, ok := keywords[word]; ok {
+				lx.emit(kw, word, pos)
+			} else {
+				lx.emit(tokIdent, word, pos)
+			}
+			continue
+		case unicode.IsDigit(rune(ch)):
+			var sb strings.Builder
+			for lx.off < len(lx.src) && unicode.IsDigit(rune(lx.peek())) {
+				sb.WriteByte(lx.advance())
+			}
+			text := sb.String()
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return errf(pos, "integer literal %q out of range", text)
+			}
+			lx.toks = append(lx.toks, token{kind: tokInt, text: text, val: v, pos: pos})
+			continue
+		}
+
+		lx.advance()
+		switch ch {
+		case '(':
+			lx.emit(tokLParen, "(", pos)
+		case ')':
+			lx.emit(tokRParen, ")", pos)
+		case '{':
+			lx.emit(tokLBrace, "{", pos)
+		case '}':
+			lx.emit(tokRBrace, "}", pos)
+		case '[':
+			lx.emit(tokLBrack, "[", pos)
+		case ']':
+			lx.emit(tokRBrack, "]", pos)
+		case ',':
+			lx.emit(tokComma, ",", pos)
+		case ';':
+			lx.emit(tokSemi, ";", pos)
+		case '+':
+			lx.emit(tokPlus, "+", pos)
+		case '-':
+			lx.emit(tokMinus, "-", pos)
+		case '*':
+			lx.emit(tokStar, "*", pos)
+		case '/':
+			lx.emit(tokSlash, "/", pos)
+		case '%':
+			lx.emit(tokPercent, "%", pos)
+		case '=':
+			if lx.peek() == '=' {
+				lx.advance()
+				lx.emit(tokEq, "==", pos)
+			} else {
+				lx.emit(tokAssign, "=", pos)
+			}
+		case '!':
+			if lx.peek() == '=' {
+				lx.advance()
+				lx.emit(tokNe, "!=", pos)
+			} else {
+				lx.emit(tokNot, "!", pos)
+			}
+		case '<':
+			if lx.peek() == '=' {
+				lx.advance()
+				lx.emit(tokLe, "<=", pos)
+			} else {
+				lx.emit(tokLt, "<", pos)
+			}
+		case '>':
+			if lx.peek() == '=' {
+				lx.advance()
+				lx.emit(tokGe, ">=", pos)
+			} else {
+				lx.emit(tokGt, ">", pos)
+			}
+		case '&':
+			if lx.peek() == '&' {
+				lx.advance()
+				lx.emit(tokAndAnd, "&&", pos)
+			} else {
+				return errf(pos, "unexpected character '&'")
+			}
+		case '|':
+			if lx.peek() == '|' {
+				lx.advance()
+				lx.emit(tokOrOr, "||", pos)
+			} else {
+				return errf(pos, "unexpected character '|'")
+			}
+		default:
+			return errf(pos, "unexpected character %q", string(rune(ch)))
+		}
+	}
+	lx.insertSemi()
+	lx.emit(tokEOF, "", lx.pos())
+	return nil
+}

@@ -1,0 +1,576 @@
+package lang
+
+// Lowering from the AST to the three-address IR. Symbol resolution and
+// type checking happen inline: the language has only int scalars and
+// []int arrays, so the checks are local.
+
+import (
+	"fmt"
+
+	"fastcoalesce/internal/ir"
+)
+
+// CompileOptions controls lowering style.
+type CompileOptions struct {
+	// SteerDestinations lowers `x = a + b` directly into x instead of
+	// computing into a temporary and copying — the output of an
+	// optimizing front end. The default (false) matches the naive
+	// translation the paper's ILOC front end produced: every assignment
+	// materializes a copy, which is exactly the food the coalescers were
+	// built for ("copy folding during SSA construction deletes all of the
+	// copies in a program", §1).
+	SteerDestinations bool
+}
+
+// Compile parses src and lowers every function to IR with naive
+// (copy-rich) lowering.
+func Compile(src string) ([]*ir.Func, error) {
+	return CompileWith(src, CompileOptions{})
+}
+
+// CompileWith parses src and lowers every function to IR with the given
+// options.
+func CompileWith(src string, opt CompileOptions) ([]*ir.Func, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []*ir.Func
+	for _, fd := range file.Funcs {
+		if seen[fd.Name] {
+			return nil, errf(fd.Pos, "function %q redeclared", fd.Name)
+		}
+		seen[fd.Name] = true
+		f, err := lowerFunc(fd, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// CompileOne compiles a source file expected to contain exactly one
+// function.
+func CompileOne(src string) (*ir.Func, error) {
+	return CompileOneWith(src, CompileOptions{})
+}
+
+// CompileOneWith is CompileOne with explicit options.
+func CompileOneWith(src string, opt CompileOptions) (*ir.Func, error) {
+	fs, err := CompileWith(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(fs) != 1 {
+		return nil, fmt.Errorf("lang: expected one function, found %d", len(fs))
+	}
+	return fs[0], nil
+}
+
+// symbol is a resolved name: exactly one of Var/Arr is meaningful.
+type symbol struct {
+	isArray bool
+	v       ir.VarID
+	a       ir.ArrID
+}
+
+type loopTargets struct {
+	cont *ir.Block // continue jumps here (loop head or latch)
+	brk  *ir.Block // break jumps here (loop exit)
+}
+
+type lowerer struct {
+	f      *ir.Func
+	bld    *ir.Builder
+	scopes []map[string]symbol
+	loops  []loopTargets
+	opt    CompileOptions
+}
+
+func lowerFunc(fd *FuncDecl, opt CompileOptions) (*ir.Func, error) {
+	lo := &lowerer{f: ir.NewFunc(fd.Name), opt: opt}
+	lo.bld = ir.NewBuilder(lo.f)
+	lo.pushScope()
+
+	scalarIdx := 0
+	for _, p := range fd.Params {
+		if _, ok := lo.lookupLocal(p.Name); ok {
+			return nil, errf(p.Pos, "parameter %q redeclared", p.Name)
+		}
+		if p.Type == TypeArray {
+			a := lo.f.NewArr(p.Name)
+			lo.f.ArrParams = append(lo.f.ArrParams, a)
+			lo.define(p.Name, symbol{isArray: true, a: a})
+		} else {
+			v := lo.f.NewVar(p.Name)
+			lo.f.Params = append(lo.f.Params, v)
+			lo.bld.Param(v, scalarIdx)
+			scalarIdx++
+			lo.define(p.Name, symbol{v: v})
+		}
+	}
+
+	if err := lo.block(fd.Body); err != nil {
+		return nil, err
+	}
+	// Implicit "return 0" if control can fall off the end.
+	if lo.bld.Cur.Terminator() == nil {
+		z := lo.f.NewVar("")
+		lo.bld.Const(z, 0)
+		lo.bld.Ret(z)
+	}
+	lo.popScope()
+
+	lo.f.RemoveUnreachable()
+	if err := lo.f.Verify(); err != nil {
+		return nil, fmt.Errorf("lang: internal error lowering %s: %w", fd.Name, err)
+	}
+	return lo.f, nil
+}
+
+func (lo *lowerer) pushScope() { lo.scopes = append(lo.scopes, map[string]symbol{}) }
+func (lo *lowerer) popScope()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
+
+func (lo *lowerer) define(name string, s symbol) {
+	lo.scopes[len(lo.scopes)-1][name] = s
+}
+
+func (lo *lowerer) lookupLocal(name string) (symbol, bool) {
+	s, ok := lo.scopes[len(lo.scopes)-1][name]
+	return s, ok
+}
+
+func (lo *lowerer) lookup(name string) (symbol, bool) {
+	for i := len(lo.scopes) - 1; i >= 0; i-- {
+		if s, ok := lo.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return symbol{}, false
+}
+
+// terminated reports whether the current block already ends control flow.
+func (lo *lowerer) terminated() bool { return lo.bld.Cur.Terminator() != nil }
+
+func (lo *lowerer) block(b *BlockStmt) error {
+	lo.pushScope()
+	defer lo.popScope()
+	for _, st := range b.Stmts {
+		if lo.terminated() {
+			// Code after a return: lower into a fresh unreachable block,
+			// which RemoveUnreachable deletes afterwards.
+			lo.bld.SetBlock(lo.bld.NewBlock())
+		}
+		if err := lo.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) stmt(st Stmt) error {
+	switch s := st.(type) {
+	case *BlockStmt:
+		return lo.block(s)
+	case *VarDecl:
+		if _, ok := lo.lookupLocal(s.Name); ok {
+			return errf(s.Pos, "%q redeclared in this scope", s.Name)
+		}
+		v := lo.f.NewVar(s.Name)
+		if s.Init != nil {
+			if err := lo.exprInto(v, s.Init); err != nil {
+				return err
+			}
+		} else {
+			lo.bld.Const(v, 0)
+		}
+		lo.define(s.Name, symbol{v: v})
+		return nil
+	case *AssignStmt:
+		return lo.assign(s)
+	case *IfStmt:
+		return lo.ifStmt(s)
+	case *WhileStmt:
+		return lo.whileStmt(s)
+	case *ForStmt:
+		return lo.forStmt(s)
+	case *ReturnStmt:
+		v, err := lo.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		lo.bld.Ret(v)
+		return nil
+	case *BreakStmt:
+		if len(lo.loops) == 0 {
+			return errf(s.Pos, "break outside a loop")
+		}
+		lo.bld.Jmp(lo.loops[len(lo.loops)-1].brk)
+		return nil
+	case *ContinueStmt:
+		if len(lo.loops) == 0 {
+			return errf(s.Pos, "continue outside a loop")
+		}
+		lo.bld.Jmp(lo.loops[len(lo.loops)-1].cont)
+		return nil
+	}
+	return fmt.Errorf("lang: unknown statement %T", st)
+}
+
+func (lo *lowerer) assign(s *AssignStmt) error {
+	sym, ok := lo.lookup(s.Name)
+	if !ok {
+		return errf(s.Pos, "undeclared name %q", s.Name)
+	}
+	if s.Index != nil {
+		if !sym.isArray {
+			return errf(s.Pos, "%q is not an array", s.Name)
+		}
+		idx, err := lo.expr(s.Index)
+		if err != nil {
+			return err
+		}
+		val, err := lo.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		lo.bld.AStore(sym.a, idx, val)
+		return nil
+	}
+	if sym.isArray {
+		return errf(s.Pos, "cannot assign to array %q without an index", s.Name)
+	}
+	return lo.exprInto(sym.v, s.Value)
+}
+
+// exprInto lowers e into destination dst. With SteerDestinations the
+// result is computed directly into dst (only variable-to-variable
+// assignments become copies); otherwise it is computed into a temporary
+// and copied, the naive-translation shape.
+func (lo *lowerer) exprInto(dst ir.VarID, e Expr) error {
+	if !lo.opt.SteerDestinations {
+		if _, isIdent := e.(*Ident); !isIdent {
+			if lit, isLit := e.(*IntLit); isLit {
+				lo.bld.Const(dst, lit.Val)
+				return nil
+			}
+			v, err := lo.expr(e)
+			if err != nil {
+				return err
+			}
+			lo.bld.Copy(dst, v)
+			return nil
+		}
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		lo.bld.Const(dst, x.Val)
+		return nil
+	case *Ident:
+		v, err := lo.expr(x)
+		if err != nil {
+			return err
+		}
+		lo.bld.Copy(dst, v)
+		return nil
+	case *IndexExpr:
+		sym, ok := lo.lookup(x.Name)
+		if !ok {
+			return errf(x.Pos_, "undeclared name %q", x.Name)
+		}
+		if !sym.isArray {
+			return errf(x.Pos_, "%q is not an array", x.Name)
+		}
+		idx, err := lo.expr(x.Index)
+		if err != nil {
+			return err
+		}
+		lo.bld.ALoad(dst, sym.a, idx)
+		return nil
+	case *LenExpr:
+		sym, ok := lo.lookup(x.Name)
+		if !ok {
+			return errf(x.Pos_, "undeclared name %q", x.Name)
+		}
+		if !sym.isArray {
+			return errf(x.Pos_, "len of non-array %q", x.Name)
+		}
+		lo.bld.ALen(dst, sym.a)
+		return nil
+	case *UnaryExpr:
+		v, err := lo.expr(x.X)
+		if err != nil {
+			return err
+		}
+		if x.Op == tokMinus {
+			lo.bld.Unop(ir.OpNeg, dst, v)
+		} else {
+			lo.bld.Unop(ir.OpNot, dst, v)
+		}
+		return nil
+	case *BinaryExpr:
+		if x.Op == tokAndAnd || x.Op == tokOrOr {
+			v, err := lo.shortCircuit(x)
+			if err != nil {
+				return err
+			}
+			lo.bld.Copy(dst, v)
+			return nil
+		}
+		a, err := lo.expr(x.X)
+		if err != nil {
+			return err
+		}
+		b, err := lo.expr(x.Y)
+		if err != nil {
+			return err
+		}
+		lo.bld.Binop(binOps[x.Op], dst, a, b)
+		return nil
+	}
+	v, err := lo.expr(e)
+	if err != nil {
+		return err
+	}
+	lo.bld.Copy(dst, v)
+	return nil
+}
+
+func (lo *lowerer) ifStmt(s *IfStmt) error {
+	cond, err := lo.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lo.bld.NewBlock()
+	var elseB *ir.Block
+	join := lo.bld.NewBlock()
+	if s.Else != nil {
+		elseB = lo.bld.NewBlock()
+		lo.bld.Br(cond, thenB, elseB)
+	} else {
+		lo.bld.Br(cond, thenB, join)
+	}
+
+	lo.bld.SetBlock(thenB)
+	if err := lo.block(s.Then); err != nil {
+		return err
+	}
+	if !lo.terminated() {
+		lo.bld.Jmp(join)
+	}
+
+	if elseB != nil {
+		lo.bld.SetBlock(elseB)
+		switch e := s.Else.(type) {
+		case *BlockStmt:
+			err = lo.block(e)
+		case *IfStmt:
+			err = lo.ifStmt(e)
+		default:
+			err = fmt.Errorf("lang: bad else node %T", s.Else)
+		}
+		if err != nil {
+			return err
+		}
+		if !lo.terminated() {
+			lo.bld.Jmp(join)
+		}
+	}
+	lo.bld.SetBlock(join)
+	return nil
+}
+
+func (lo *lowerer) whileStmt(s *WhileStmt) error {
+	head := lo.bld.NewBlock()
+	body := lo.bld.NewBlock()
+	exit := lo.bld.NewBlock()
+	lo.bld.Jmp(head)
+	lo.bld.SetBlock(head)
+	cond, err := lo.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	lo.bld.Br(cond, body, exit)
+	lo.bld.SetBlock(body)
+	lo.loops = append(lo.loops, loopTargets{cont: head, brk: exit})
+	err = lo.block(s.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !lo.terminated() {
+		lo.bld.Jmp(head)
+	}
+	lo.bld.SetBlock(exit)
+	return nil
+}
+
+func (lo *lowerer) forStmt(s *ForStmt) error {
+	lo.pushScope() // the init clause may declare a variable
+	defer lo.popScope()
+	if s.Init != nil {
+		if err := lo.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	head := lo.bld.NewBlock()
+	body := lo.bld.NewBlock()
+	latch := lo.bld.NewBlock() // post clause; continue lands here
+	exit := lo.bld.NewBlock()
+	lo.bld.Jmp(head)
+	lo.bld.SetBlock(head)
+	if s.Cond != nil {
+		cond, err := lo.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		lo.bld.Br(cond, body, exit)
+	} else {
+		lo.bld.Jmp(body)
+	}
+	lo.bld.SetBlock(body)
+	lo.loops = append(lo.loops, loopTargets{cont: latch, brk: exit})
+	err := lo.block(s.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !lo.terminated() {
+		lo.bld.Jmp(latch)
+	}
+	lo.bld.SetBlock(latch)
+	if s.Post != nil {
+		if err := lo.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	lo.bld.Jmp(head)
+	lo.bld.SetBlock(exit)
+	return nil
+}
+
+// expr lowers an expression and returns the variable holding its value.
+func (lo *lowerer) expr(e Expr) (ir.VarID, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		t := lo.f.NewVar("")
+		lo.bld.Const(t, x.Val)
+		return t, nil
+	case *Ident:
+		sym, ok := lo.lookup(x.Name)
+		if !ok {
+			return 0, errf(x.Pos_, "undeclared name %q", x.Name)
+		}
+		if sym.isArray {
+			return 0, errf(x.Pos_, "array %q used as a scalar", x.Name)
+		}
+		return sym.v, nil
+	case *IndexExpr:
+		sym, ok := lo.lookup(x.Name)
+		if !ok {
+			return 0, errf(x.Pos_, "undeclared name %q", x.Name)
+		}
+		if !sym.isArray {
+			return 0, errf(x.Pos_, "%q is not an array", x.Name)
+		}
+		idx, err := lo.expr(x.Index)
+		if err != nil {
+			return 0, err
+		}
+		t := lo.f.NewVar("")
+		lo.bld.ALoad(t, sym.a, idx)
+		return t, nil
+	case *LenExpr:
+		sym, ok := lo.lookup(x.Name)
+		if !ok {
+			return 0, errf(x.Pos_, "undeclared name %q", x.Name)
+		}
+		if !sym.isArray {
+			return 0, errf(x.Pos_, "len of non-array %q", x.Name)
+		}
+		t := lo.f.NewVar("")
+		lo.bld.ALen(t, sym.a)
+		return t, nil
+	case *UnaryExpr:
+		v, err := lo.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		t := lo.f.NewVar("")
+		if x.Op == tokMinus {
+			lo.bld.Unop(ir.OpNeg, t, v)
+		} else {
+			lo.bld.Unop(ir.OpNot, t, v)
+		}
+		return t, nil
+	case *BinaryExpr:
+		return lo.binary(x)
+	}
+	return 0, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+var binOps = map[tokKind]ir.Op{
+	tokPlus: ir.OpAdd, tokMinus: ir.OpSub, tokStar: ir.OpMul,
+	tokSlash: ir.OpDiv, tokPercent: ir.OpRem,
+	tokEq: ir.OpCmpEQ, tokNe: ir.OpCmpNE, tokLt: ir.OpCmpLT,
+	tokLe: ir.OpCmpLE, tokGt: ir.OpCmpGT, tokGe: ir.OpCmpGE,
+}
+
+func (lo *lowerer) binary(x *BinaryExpr) (ir.VarID, error) {
+	if x.Op == tokAndAnd || x.Op == tokOrOr {
+		return lo.shortCircuit(x)
+	}
+	a, err := lo.expr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	b, err := lo.expr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	t := lo.f.NewVar("")
+	lo.bld.Binop(binOps[x.Op], t, a, b)
+	return t, nil
+}
+
+// shortCircuit lowers && and || with control flow, normalizing the result
+// to 0 or 1. The merge creates a φ-node after SSA construction — exactly
+// the shape the coalescer must handle.
+func (lo *lowerer) shortCircuit(x *BinaryExpr) (ir.VarID, error) {
+	t := lo.f.NewVar("")
+	a, err := lo.expr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	evalY := lo.bld.NewBlock()
+	short := lo.bld.NewBlock()
+	join := lo.bld.NewBlock()
+	if x.Op == tokAndAnd {
+		lo.bld.Br(a, evalY, short) // false short-circuits
+	} else {
+		lo.bld.Br(a, short, evalY) // true short-circuits
+	}
+
+	lo.bld.SetBlock(evalY)
+	b, err := lo.expr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	z := lo.f.NewVar("")
+	lo.bld.Const(z, 0)
+	lo.bld.Binop(ir.OpCmpNE, t, b, z)
+	lo.bld.Jmp(join)
+
+	lo.bld.SetBlock(short)
+	if x.Op == tokAndAnd {
+		lo.bld.Const(t, 0)
+	} else {
+		lo.bld.Const(t, 1)
+	}
+	lo.bld.Jmp(join)
+
+	lo.bld.SetBlock(join)
+	return t, nil
+}

@@ -1,0 +1,142 @@
+// Package liveness implements iterative backward live-variable analysis
+// over the IR, with the φ-aware convention the paper relies on (§3.1):
+//
+//   - a φ-node's definition occurs at the top of its block, so the φ name
+//     is never live-in to that block;
+//   - a φ-node's i-th argument is used on the incoming edge from the i-th
+//     predecessor, so it is live-out of that predecessor but NOT live-in to
+//     the φ's block ("our liveness analysis distinguishes between values
+//     that flow into b's φ-nodes and values that flow directly to some
+//     other use in b or b's successors").
+//
+// The same code handles non-SSA programs (no φ-nodes present).
+package liveness
+
+import (
+	"fastcoalesce/internal/bitset"
+	"fastcoalesce/internal/ir"
+)
+
+// Info holds per-block live sets over VarIDs.
+type Info struct {
+	In  []bitset.Set // In[b]: live at block entry (after φ defs, excl. φ uses)
+	Out []bitset.Set // Out[b]: live at block exit (incl. φ args flowing out of b)
+}
+
+// Compute runs the analysis to fixpoint.
+func Compute(f *ir.Func) *Info {
+	nb := len(f.Blocks)
+	nv := f.NumVars()
+	li := &Info{
+		In:  make([]bitset.Set, nb),
+		Out: make([]bitset.Set, nb),
+	}
+	ueVar := make([]bitset.Set, nb) // upward-exposed uses (excl. φ args)
+	defs := make([]bitset.Set, nb)  // vars defined in block (incl. φ defs)
+	for i := 0; i < nb; i++ {
+		li.In[i] = bitset.New(nv)
+		li.Out[i] = bitset.New(nv)
+		ueVar[i] = bitset.New(nv)
+		defs[i] = bitset.New(nv)
+	}
+
+	for _, b := range f.Blocks {
+		ue, df := ueVar[b.ID], defs[b.ID]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpPhi {
+				for _, a := range in.Args {
+					if !df.Has(int(a)) {
+						ue.Add(int(a))
+					}
+				}
+			}
+			if in.Op.HasDef() {
+				df.Add(int(in.Def))
+			}
+		}
+	}
+
+	// Iterate to fixpoint, sweeping blocks in postorder (successors before
+	// predecessors), which converges in a couple of passes on reducible
+	// CFGs. Blocks unreachable from the entry keep empty sets.
+	order := postorder(f)
+	tmp := bitset.New(nv)
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range order {
+			bi := int(bid)
+			b := f.Blocks[bi]
+			out := li.Out[bi]
+			for _, s := range b.Succs {
+				if out.Or(li.In[s]) {
+					changed = true
+				}
+				// φ args flowing along the edge b->s. A block can appear
+				// more than once in Preds (e.g. a branch whose arms both
+				// target s before edge splitting), so scan all positions.
+				sb := f.Blocks[s]
+				for pi, p := range sb.Preds {
+					if p != b.ID {
+						continue
+					}
+					for j := range sb.Instrs {
+						in := &sb.Instrs[j]
+						if in.Op != ir.OpPhi {
+							break
+						}
+						a := int(in.Args[pi])
+						if !out.Has(a) {
+							out.Add(a)
+							changed = true
+						}
+					}
+				}
+			}
+			// In = UEVar ∪ (Out \ Def)
+			tmp.CopyFrom(out)
+			tmp.AndNot(defs[bi])
+			tmp.Or(ueVar[bi])
+			if li.In[bi].Or(tmp) {
+				changed = true
+			}
+		}
+	}
+	return li
+}
+
+// postorder returns the blocks of f in a depth-first postorder from the
+// entry.
+func postorder(f *ir.Func) []ir.BlockID {
+	n := len(f.Blocks)
+	out := make([]ir.BlockID, 0, n)
+	state := make([]uint8, n)
+	type frame struct {
+		b ir.BlockID
+		i int
+	}
+	stack := []frame{{f.Entry, 0}}
+	state[f.Entry] = 1
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := f.Blocks[fr.b].Succs
+		if fr.i < len(succs) {
+			s := succs[fr.i]
+			fr.i++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		out = append(out, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}
+
+// LiveIn reports whether v is live at entry to block b.
+func (li *Info) LiveIn(b ir.BlockID, v ir.VarID) bool { return li.In[b].Has(int(v)) }
+
+// LiveOut reports whether v is live at exit from block b.
+func (li *Info) LiveOut(b ir.BlockID, v ir.VarID) bool { return li.Out[b].Has(int(v)) }

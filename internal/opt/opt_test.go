@@ -1,0 +1,320 @@
+package opt
+
+import (
+	"testing"
+
+	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/interp"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/ssa"
+)
+
+func build(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := lang.CompileOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func toSSA(t *testing.T, f *ir.Func) {
+	t.Helper()
+	ssa.Build(f, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+}
+
+func TestConstantFolding(t *testing.T) {
+	f := build(t, `func f() int { return (2 + 3) * 4 - 6 / 2 }`)
+	toSSA(t, f)
+	st := Optimize(f)
+	if st.Folded == 0 {
+		t.Fatalf("nothing folded: %+v", st)
+	}
+	// The function should reduce to: const 17; ret.
+	res, err := interp.Run(f, nil, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 17 {
+		t.Fatalf("Ret = %d, want 17", res.Ret)
+	}
+	ops := 0
+	for _, b := range f.Blocks {
+		ops += len(b.Instrs)
+	}
+	if ops > 2 {
+		t.Fatalf("expected const+ret, have %d instructions:\n%s", ops, f)
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	f := build(t, `
+func f(a int) int {
+	var x int = a + 0
+	var y int = x * 1
+	var z int = y - 0
+	var w int = z / 1
+	return w
+}`)
+	toSSA(t, f)
+	st := Optimize(f)
+	if st.Simplified+st.CopiesProp == 0 {
+		t.Fatalf("nothing simplified: %+v", st)
+	}
+	// Everything reduces to "return a".
+	res, err := interp.Run(f, []int64{41}, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 41 {
+		t.Fatalf("Ret = %d, want 41", res.Ret)
+	}
+	if n := f.NumInstrs(); n > 2 {
+		t.Fatalf("expected param+ret, have %d instructions:\n%s", n, f)
+	}
+}
+
+func TestCommonSubexpression(t *testing.T) {
+	f := build(t, `
+func f(a int, b int) int {
+	var x int = a * b + a
+	var y int = a * b + a
+	return x + y
+}`)
+	toSSA(t, f)
+	st := Optimize(f)
+	if st.Numbered == 0 {
+		t.Fatalf("no redundancy found: %+v", st)
+	}
+	res, err := interp.Run(f, []int64{3, 4}, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 30 {
+		t.Fatalf("Ret = %d, want 30", res.Ret)
+	}
+	// a*b and a*b+a each computed once; param, param, mul, add, add, ret.
+	if n := f.NumInstrs(); n > 6 {
+		t.Fatalf("CSE left %d instructions:\n%s", n, f)
+	}
+}
+
+func TestCommutativeCSE(t *testing.T) {
+	f := build(t, `
+func f(a int, b int) int {
+	var x int = a + b
+	var y int = b + a
+	return x * y
+}`)
+	toSSA(t, f)
+	st := Optimize(f)
+	if st.Numbered == 0 {
+		t.Fatalf("commuted expression not numbered: %+v", st)
+	}
+}
+
+func TestCSERespectsdominance(t *testing.T) {
+	// a*b computed in both branch arms must NOT be replaced by each
+	// other (neither dominates the other).
+	f := build(t, `
+func f(a int, b int, c int) int {
+	var r int = 0
+	if c > 0 {
+		r = a * b
+	} else {
+		r = a * b + 1
+	}
+	return r
+}`)
+	toSSA(t, f)
+	Optimize(f)
+	for _, args := range [][]int64{{3, 4, 1}, {3, 4, 0}} {
+		res, err := interp.Run(f, args, nil, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(12)
+		if args[2] == 0 {
+			want = 13
+		}
+		if res.Ret != want {
+			t.Fatalf("f(%v) = %d, want %d", args, res.Ret, want)
+		}
+	}
+}
+
+func TestPhiCollapse(t *testing.T) {
+	// Both arms assign the same value: the φ folds away entirely.
+	f := build(t, `
+func f(c int) int {
+	var r int = 0
+	if c > 0 {
+		r = 5
+	} else {
+		r = 5
+	}
+	return r + c
+}`)
+	toSSA(t, f)
+	st := Optimize(f)
+	_ = st
+	if got := f.CountPhis(); got != 0 {
+		t.Fatalf("%d φs remain:\n%s", got, f)
+	}
+	for _, c := range []int64{1, 0} {
+		res, err := interp.Run(f, []int64{c}, nil, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != 5+c {
+			t.Fatalf("f(%d) = %d, want %d", c, res.Ret, 5+c)
+		}
+	}
+}
+
+func TestLenIsPureAndNumbered(t *testing.T) {
+	f := build(t, `
+func f(x []int) int {
+	var a int = len(x)
+	var b int = len(x)
+	return a + b
+}`)
+	toSSA(t, f)
+	st := Optimize(f)
+	if st.Numbered == 0 {
+		t.Fatalf("len(x) not numbered: %+v", st)
+	}
+	res, err := interp.Run(f, nil, [][]int64{{1, 2, 3}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 6 {
+		t.Fatalf("Ret = %d, want 6", res.Ret)
+	}
+}
+
+func TestLoadsAreNotNumbered(t *testing.T) {
+	// x[0] read before and after a store must stay two loads.
+	f := build(t, `
+func f(x []int) int {
+	var a int = x[0]
+	x[0] = a + 1
+	var b int = x[0]
+	return a * 100 + b
+}`)
+	toSSA(t, f)
+	Optimize(f)
+	res, err := interp.Run(f, nil, [][]int64{{7}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 708 {
+		t.Fatalf("Ret = %d, want 708", res.Ret)
+	}
+}
+
+func TestOptimizeThenCoalescePreservesSemantics(t *testing.T) {
+	srcs := []string{
+		`func f(n int) int {
+			var s int = 0
+			for var i = 0; i < n; i = i + 1 {
+				var t int = i * 2 + 0
+				var u int = i * 2
+				s = s + t + u
+			}
+			return s
+		}`,
+		`func g(a int, b int) int {
+			var x int = a
+			var y int = b
+			var k int = 0
+			while k < 6 {
+				var t int = x
+				x = y * 1
+				y = t + 0
+				k = k + 1
+			}
+			return x * 10 + y
+		}`,
+	}
+	for _, src := range srcs {
+		orig := build(t, src)
+		args := make([]int64, len(orig.Params))
+		for i := range args {
+			args[i] = int64(i*3 + 4)
+		}
+		want, err := interp.Run(orig, args, nil, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := orig.Clone()
+		toSSA(t, f)
+		Optimize(f)
+		if err := Verify(f); err != nil {
+			t.Fatal(err)
+		}
+		core.Coalesce(f, core.Options{})
+		if err := f.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Run(f, args, nil, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !interp.SameResult(want, got) {
+			t.Fatalf("%s: got %d want %d\n%s", f.Name, got.Ret, want.Ret, f)
+		}
+	}
+}
+
+func TestOptimizeTerminates(t *testing.T) {
+	f := build(t, `
+func f(n int) int {
+	var s int = 1
+	for var i = 0; i < n; i = i + 1 {
+		s = s * 2 / 2 + 0
+	}
+	return s
+}`)
+	toSSA(t, f)
+	st := Optimize(f)
+	if st.Rounds > 8 {
+		t.Fatalf("did not converge: %+v", st)
+	}
+}
+
+func TestSelfReferentialPhiCollapses(t *testing.T) {
+	// x never changes in the loop: x1 = φ(x0, x1) must collapse to x0.
+	f := build(t, `
+func f(n int) int {
+	var x int = 7
+	var s int = 0
+	for var i = 0; i < n; i = i + 1 {
+		s = s + x
+	}
+	return s
+}`)
+	toSSA(t, f)
+	Optimize(f)
+	// Only the loop-carried s and i φs should remain.
+	phiDefsNamedX := 0
+	for _, b := range f.Blocks {
+		for i := 0; i < b.NumPhis(); i++ {
+			name := f.VarName(b.Instrs[i].Def)
+			if len(name) > 0 && name[0] == 'x' {
+				phiDefsNamedX++
+			}
+		}
+	}
+	if phiDefsNamedX != 0 {
+		t.Fatalf("invariant φ for x not collapsed:\n%s", f)
+	}
+	res, err := interp.Run(f, []int64{5}, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 35 {
+		t.Fatalf("Ret = %d, want 35", res.Ret)
+	}
+}

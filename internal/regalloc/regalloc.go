@@ -1,0 +1,315 @@
+// Package regalloc implements a Chaitin/Briggs graph-coloring register
+// allocator — the application the paper positions its coalescer inside
+// (§1, §5): live ranges come from SSA destruction (either the paper's fast
+// coalescer or the interference-graph coalescer), then the allocator
+// colors the interference graph with K colors, spilling optimistically
+// à la Briggs until the graph colors.
+//
+// Spilled values live in a dedicated function-local spill array, so the
+// allocated code remains executable and is verified by the interpreter.
+package regalloc
+
+import (
+	"fmt"
+
+	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/ifgraph"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/liveness"
+)
+
+// Options configures Allocate.
+type Options struct {
+	K int // number of registers (colors); must be >= 2
+
+	// MaxRounds bounds the build/spill iteration (safety net; 0 = 32).
+	MaxRounds int
+}
+
+// Result describes a completed allocation.
+type Result struct {
+	// Colors maps each variable to a register in [0, K), or -1 for
+	// variables that do not appear in the final code.
+	Colors []int
+	// SpilledVars counts live ranges sent to memory across all rounds.
+	SpilledVars int
+	// Rounds is the number of build/color attempts.
+	Rounds int
+	// SpillSlots is the size of the spill area.
+	SpillSlots int
+}
+
+// Allocate colors f's live ranges with opt.K registers, rewriting f with
+// spill code as needed. f must be φ-free (run a destruction pass first).
+func Allocate(f *ir.Func, opt Options) (*Result, error) {
+	if opt.K < 2 {
+		return nil, fmt.Errorf("regalloc: need K >= 2, got %d", opt.K)
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 32
+	}
+	res := &Result{}
+	var spillArr ir.ArrID = ir.NoArr
+	spilled := make(map[ir.VarID]bool)
+
+	for {
+		res.Rounds++
+		if res.Rounds > maxRounds {
+			return nil, fmt.Errorf("regalloc: no %d-coloring after %d rounds", opt.K, maxRounds)
+		}
+		colors, toSpill := tryColor(f, opt.K, spilled)
+		if len(toSpill) == 0 {
+			res.Colors = colors
+			return res, nil
+		}
+		if spillArr == ir.NoArr {
+			spillArr = f.NewArr("spill")
+		}
+		for _, v := range toSpill {
+			slot := res.SpillSlots
+			res.SpillSlots++
+			res.SpilledVars++
+			spilled[v] = true
+			// Reload temporaries are unspillable (spilling a one-instr
+			// range cannot reduce pressure and would not terminate).
+			for _, t := range insertSpillCode(f, v, spillArr, slot) {
+				spilled[t] = true
+			}
+		}
+		f.ArrLens[spillArr] = res.SpillSlots
+	}
+}
+
+// tryColor builds the interference graph, runs Briggs-style optimistic
+// simplify/select, and returns either a complete coloring or the live
+// ranges to spill. Variables already spilled are never chosen again
+// (their new ranges are tiny; choosing them would loop forever).
+func tryColor(f *ir.Func, k int, spilled map[ir.VarID]bool) (colors []int, toSpill []ir.VarID) {
+	nv := f.NumVars()
+	live := liveness.Compute(f)
+	g := ifgraph.Build(f, live, ifgraph.BuildOptions{})
+
+	// Spill costs: uses+defs weighted by loop depth (10^depth), the
+	// classic Chaitin estimate.
+	cost := make([]float64, nv)
+	appears := make([]bool, nv)
+	depth := dom.New(f).FindLoops().Depth
+	for _, b := range f.Blocks {
+		w := 1.0
+		for d := int32(0); d < depth[b.ID]; d++ {
+			w *= 10
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.HasDef() {
+				cost[in.Def] += w
+				appears[in.Def] = true
+			}
+			for _, a := range in.Args {
+				cost[a] += w
+				appears[a] = true
+			}
+		}
+	}
+
+	// Simplify: remove low-degree nodes first; when stuck, optimistically
+	// push the cheapest spill candidate (Briggs).
+	degree := make([]int, nv)
+	removed := make([]bool, nv)
+	nodes := 0
+	for v := 0; v < nv; v++ {
+		if appears[v] {
+			degree[v] = g.Degree(int32(v))
+			nodes++
+		} else {
+			removed[v] = true
+		}
+	}
+	stack := make([]ir.VarID, 0, nodes)
+	remove := func(v ir.VarID) {
+		removed[v] = true
+		stack = append(stack, v)
+		for _, n := range g.Neighbors(int32(v)) {
+			if !removed[n] {
+				degree[n]--
+			}
+		}
+	}
+	for len(stack) < nodes {
+		progress := false
+		for v := 0; v < nv; v++ {
+			if !removed[v] && degree[v] < k {
+				remove(ir.VarID(v))
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Blocked: push the best spill candidate optimistically.
+		best := ir.VarID(-1)
+		bestScore := 0.0
+		for v := 0; v < nv; v++ {
+			if removed[v] || spilled[ir.VarID(v)] {
+				continue
+			}
+			score := cost[v] / float64(degree[v]+1)
+			if best < 0 || score < bestScore {
+				best, bestScore = ir.VarID(v), score
+			}
+		}
+		if best < 0 {
+			// Everything left is already-spilled tiny ranges; push them
+			// all and hope optimism colors them (their degree is small).
+			for v := 0; v < nv; v++ {
+				if !removed[v] {
+					remove(ir.VarID(v))
+				}
+			}
+			continue
+		}
+		remove(best)
+	}
+
+	// Select: pop in reverse, assigning the lowest color not used by an
+	// already-colored neighbor; failures become spills.
+	colors = make([]int, nv)
+	for v := range colors {
+		colors[v] = -1
+	}
+	inUse := make([]bool, k)
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		for c := range inUse {
+			inUse[c] = false
+		}
+		for _, n := range g.Neighbors(int32(v)) {
+			if c := colors[n]; c >= 0 {
+				inUse[c] = true
+			}
+		}
+		assigned := -1
+		for c := 0; c < k; c++ {
+			if !inUse[c] {
+				assigned = c
+				break
+			}
+		}
+		if assigned < 0 {
+			toSpill = append(toSpill, v)
+			continue
+		}
+		colors[v] = assigned
+	}
+	return colors, toSpill
+}
+
+// insertSpillCode rewrites v as a memory-resident value: a store follows
+// every definition and a fresh temporary is loaded before every use, so
+// v's long live range becomes many tiny ones. It returns the temporaries
+// it created.
+func insertSpillCode(f *ir.Func, v ir.VarID, arr ir.ArrID, slot int) []ir.VarID {
+	var temps []ir.VarID
+	for _, b := range f.Blocks {
+		var out []ir.Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			usesV := false
+			for _, a := range in.Args {
+				if a == v {
+					usesV = true
+					break
+				}
+			}
+			if usesV {
+				t := f.NewVar(fmt.Sprintf("%s.rld", f.VarNames[v]))
+				idx := f.NewVar("")
+				temps = append(temps, t, idx)
+				out = append(out,
+					ir.Instr{Op: ir.OpConst, Def: idx, Const: int64(slot)},
+					ir.Instr{Op: ir.OpALoad, Def: t, Args: []ir.VarID{idx}, Arr: arr})
+				for ai, a := range in.Args {
+					if a == v {
+						in.Args[ai] = t
+					}
+				}
+			}
+			out = append(out, in)
+			if in.Op.HasDef() && in.Def == v {
+				idx := f.NewVar("")
+				temps = append(temps, idx)
+				out = append(out,
+					ir.Instr{Op: ir.OpConst, Def: idx, Const: int64(slot)},
+					ir.Instr{Op: ir.OpAStore, Args: []ir.VarID{idx, v}, Arr: arr})
+			}
+		}
+		b.Instrs = out
+	}
+	return temps
+}
+
+// VerifyAllocation checks that the coloring is a proper coloring of f's
+// interference graph with at most K colors.
+func VerifyAllocation(f *ir.Func, colors []int, k int) error {
+	live := liveness.Compute(f)
+	g := ifgraph.Build(f, live, ifgraph.BuildOptions{})
+	for v := 0; v < f.NumVars(); v++ {
+		c := colors[v]
+		if c >= k {
+			return fmt.Errorf("regalloc: %s got color %d >= K=%d", f.VarName(ir.VarID(v)), c, k)
+		}
+		if c < 0 {
+			continue
+		}
+		for _, n := range g.Neighbors(int32(v)) {
+			if colors[n] == c && int(n) > v {
+				return fmt.Errorf("regalloc: interfering %s and %s share register r%d",
+					f.VarName(ir.VarID(v)), f.VarName(ir.VarID(n)), c)
+			}
+		}
+	}
+	// Every appearing variable must have a color.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.HasDef() && colors[in.Def] < 0 {
+				return fmt.Errorf("regalloc: %s defined but uncolored", f.VarName(in.Def))
+			}
+			for _, a := range in.Args {
+				if colors[a] < 0 {
+					return fmt.Errorf("regalloc: %s used but uncolored", f.VarName(a))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RewriteToRegisters renames every variable to its register, producing
+// code whose variable count is at most K. Distinct live ranges sharing a
+// register become one IR variable, which is exactly what register
+// assignment means.
+func RewriteToRegisters(f *ir.Func, colors []int, k int) {
+	regs := make([]ir.VarID, k)
+	for c := 0; c < k; c++ {
+		regs[c] = f.NewVar(fmt.Sprintf("r%d", c))
+	}
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Op.HasDef() {
+				in.Def = regs[colors[in.Def]]
+			}
+			for ai := range in.Args {
+				in.Args[ai] = regs[colors[in.Args[ai]]]
+			}
+			if in.Op == ir.OpCopy && in.Def == in.Args[0] {
+				continue // copies between ranges given the same register
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}

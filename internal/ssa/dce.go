@@ -1,0 +1,79 @@
+package ssa
+
+import "fastcoalesce/internal/ir"
+
+// EliminateDeadCode removes instructions whose results are never used, by
+// marking from roots (stores, terminators) backward through operands.
+// φ-nodes are handled like any other definition, so whole dead φ-webs
+// disappear. The paper invokes exactly this cleanup for the entry-block
+// initializations that enforce strictness (§2): the ones no path actually
+// needs die here. Works on SSA form (single definitions); returns the
+// number of instructions removed.
+func EliminateDeadCode(f *ir.Func) int {
+	nv := f.NumVars()
+	// defSite[v] locates v's unique definition.
+	type site struct {
+		block ir.BlockID
+		idx   int32
+	}
+	defSite := make([]site, nv)
+	for i := range defSite {
+		defSite[i] = site{block: ir.NoBlock}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.HasDef() {
+				defSite[in.Def] = site{block: b.ID, idx: int32(i)}
+			}
+		}
+	}
+
+	live := make([]bool, nv)
+	var work []ir.VarID
+	markVar := func(v ir.VarID) {
+		if !live[v] {
+			live[v] = true
+			work = append(work, v)
+		}
+	}
+	// Roots: operands of instructions with observable effects.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpAStore, ir.OpRet, ir.OpBr, ir.OpJmp:
+				for _, a := range in.Args {
+					markVar(a)
+				}
+			}
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := defSite[v]
+		if s.block == ir.NoBlock {
+			continue
+		}
+		in := &f.Blocks[s.block].Instrs[s.idx]
+		for _, a := range in.Args {
+			markVar(a)
+		}
+	}
+
+	removed := 0
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Op.HasDef() && !live[in.Def] && in.Op != ir.OpParam {
+				removed++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return removed
+}

@@ -1,0 +1,48 @@
+package ssa
+
+import "fastcoalesce/internal/ir"
+
+// DestructStats reports what an SSA destruction pass did.
+type DestructStats struct {
+	CopiesInserted int
+	TempsCreated   int
+}
+
+// DestructStandard is the "Standard" algorithm of the paper's experiments:
+// the Briggs et al. φ-node instantiation that makes no attempt to eliminate
+// copies. Each φ-node p = φ(a1..an) in block s is replaced by a copy
+// p = ai at the end of the i-th predecessor; the copies destined for one
+// block form a parallel-copy group (the Waiting array) and are
+// sequentialized with temporaries where they form cycles. Critical edges
+// must already be split (Build does this).
+func DestructStandard(f *ir.Func) *DestructStats {
+	st := &DestructStats{}
+	newTemp := func() ir.VarID {
+		st.TempsCreated++
+		return f.NewVar("")
+	}
+
+	waiting := make([][]Copy, len(f.Blocks))
+	for _, s := range f.Blocks {
+		nphi := s.NumPhis()
+		if nphi == 0 {
+			continue
+		}
+		for pi, p := range s.Preds {
+			for j := 0; j < nphi; j++ {
+				phi := &s.Instrs[j]
+				waiting[p] = append(waiting[p], Copy{Dst: phi.Def, Src: phi.Args[pi]})
+			}
+		}
+		s.Instrs = s.Instrs[nphi:]
+	}
+	for bi, copies := range waiting {
+		if len(copies) == 0 {
+			continue
+		}
+		before := len(f.Blocks[bi].Instrs)
+		InsertCopiesAtEnd(f, f.Blocks[bi], copies, newTemp)
+		st.CopiesInserted += len(f.Blocks[bi].Instrs) - before
+	}
+	return st
+}

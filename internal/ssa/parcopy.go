@@ -1,0 +1,111 @@
+package ssa
+
+import (
+	"fmt"
+
+	"fastcoalesce/internal/ir"
+)
+
+// Copy is one pending move in a parallel-copy group. All destinations in a
+// group are distinct, and the group's semantics are simultaneous: every
+// source is read before any destination is written. This is the paper's
+// Waiting[b] entry (§3, §3.6): copies destined for the end of block b.
+type Copy struct {
+	Dst, Src ir.VarID
+}
+
+// SequenceParallelCopies orders a parallel-copy group into an equivalent
+// sequence of ordinary copies, introducing temporaries to break cycles —
+// the treatment of the swap problem from Briggs et al. that the paper
+// adopts (§3.6). newTemp must return a fresh variable. The input slice is
+// not modified.
+func SequenceParallelCopies(copies []Copy, newTemp func() ir.VarID) []Copy {
+	pending := make([]Copy, 0, len(copies))
+	for _, c := range copies {
+		if c.Dst != c.Src {
+			pending = append(pending, c)
+		}
+	}
+	// srcCount[v] = how many pending copies read v.
+	srcCount := make(map[ir.VarID]int, len(pending))
+	for _, c := range pending {
+		srcCount[c.Src]++
+	}
+
+	out := make([]Copy, 0, len(pending)+1)
+	for len(pending) > 0 {
+		emitted := false
+		for i := 0; i < len(pending); i++ {
+			c := pending[i]
+			if srcCount[c.Dst] == 0 {
+				// c's destination is not read by any remaining copy, so it
+				// is safe to overwrite now.
+				out = append(out, c)
+				srcCount[c.Src]--
+				pending[i] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				emitted = true
+				i--
+			}
+		}
+		if emitted {
+			continue
+		}
+		// Every remaining destination is still read by someone: the copies
+		// form one or more cycles. Save one destination in a temporary and
+		// redirect its readers.
+		c := pending[0]
+		t := newTemp()
+		out = append(out, Copy{Dst: t, Src: c.Dst})
+		for i := range pending {
+			if pending[i].Src == c.Dst {
+				pending[i].Src = t
+			}
+		}
+		srcCount[t] = srcCount[c.Dst]
+		srcCount[c.Dst] = 0
+	}
+	return out
+}
+
+// InsertCopiesAtEnd places a parallel-copy group at the end of block b,
+// immediately before the terminator. If the terminator reads a variable
+// that the group overwrites, the old value is saved in a temporary first
+// and the terminator is rewritten to read it — the group semantically
+// executes on the outgoing edge, after the terminator's reads.
+func InsertCopiesAtEnd(f *ir.Func, b *ir.Block, copies []Copy, newTemp func() ir.VarID) {
+	if len(copies) == 0 {
+		return
+	}
+	term := b.Terminator()
+	if term == nil {
+		panic(fmt.Sprintf("ssa: block b%d has no terminator", b.ID))
+	}
+
+	dsts := make(map[ir.VarID]bool, len(copies))
+	for _, c := range copies {
+		if dsts[c.Dst] {
+			panic(fmt.Sprintf("ssa: duplicate destination %s in parallel copy", f.VarName(c.Dst)))
+		}
+		dsts[c.Dst] = true
+	}
+
+	var pre []ir.Instr
+	for ai, a := range term.Args {
+		if dsts[a] {
+			t := newTemp()
+			pre = append(pre, ir.Instr{Op: ir.OpCopy, Def: t, Args: []ir.VarID{a}})
+			term.Args[ai] = t
+		}
+	}
+
+	seq := SequenceParallelCopies(copies, newTemp)
+	instrs := make([]ir.Instr, 0, len(b.Instrs)+len(pre)+len(seq))
+	instrs = append(instrs, b.Instrs[:len(b.Instrs)-1]...)
+	instrs = append(instrs, pre...)
+	for _, c := range seq {
+		instrs = append(instrs, ir.Instr{Op: ir.OpCopy, Def: c.Dst, Args: []ir.VarID{c.Src}})
+	}
+	instrs = append(instrs, b.Instrs[len(b.Instrs)-1])
+	b.Instrs = instrs
+}

@@ -1,0 +1,152 @@
+package ssa
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcoalesce/internal/ir"
+)
+
+// simulate applies copies with parallel semantics to an environment.
+func simulateParallel(env map[ir.VarID]int64, copies []Copy) {
+	vals := make(map[ir.VarID]int64, len(copies))
+	for _, c := range copies {
+		vals[c.Dst] = env[c.Src]
+	}
+	for d, v := range vals {
+		env[d] = v
+	}
+}
+
+// simulateSeq applies copies one at a time.
+func simulateSeq(env map[ir.VarID]int64, copies []Copy) {
+	for _, c := range copies {
+		env[c.Dst] = env[c.Src]
+	}
+}
+
+func tempFactory(next *ir.VarID) func() ir.VarID {
+	return func() ir.VarID {
+		*next++
+		return *next - 1
+	}
+}
+
+func checkEquivalent(t *testing.T, nvars ir.VarID, copies []Copy) {
+	t.Helper()
+	next := nvars
+	seq := SequenceParallelCopies(copies, tempFactory(&next))
+
+	par := map[ir.VarID]int64{}
+	ser := map[ir.VarID]int64{}
+	for v := ir.VarID(0); v < nvars; v++ {
+		par[v] = int64(v) * 10
+		ser[v] = int64(v) * 10
+	}
+	simulateParallel(par, copies)
+	simulateSeq(ser, seq)
+	for v := ir.VarID(0); v < nvars; v++ {
+		if par[v] != ser[v] {
+			t.Fatalf("copies %v -> seq %v: var %d = %d, want %d", copies, seq, v, ser[v], par[v])
+		}
+	}
+}
+
+func TestSequenceChain(t *testing.T) {
+	// a <- b <- c : must emit a=b before b=c.
+	copies := []Copy{{0, 1}, {1, 2}}
+	checkEquivalent(t, 3, copies)
+	next := ir.VarID(3)
+	seq := SequenceParallelCopies(copies, tempFactory(&next))
+	if len(seq) != 2 {
+		t.Fatalf("chain needed %d copies, want 2 (no temp)", len(seq))
+	}
+	if next != 3 {
+		t.Fatal("chain allocated a temporary")
+	}
+}
+
+func TestSequenceSwap(t *testing.T) {
+	copies := []Copy{{0, 1}, {1, 0}}
+	checkEquivalent(t, 2, copies)
+	next := ir.VarID(2)
+	seq := SequenceParallelCopies(copies, tempFactory(&next))
+	if len(seq) != 3 {
+		t.Fatalf("swap needed %d copies, want 3 (one temp)", len(seq))
+	}
+}
+
+func TestSequenceThreeCycle(t *testing.T) {
+	checkEquivalent(t, 3, []Copy{{0, 1}, {1, 2}, {2, 0}})
+}
+
+func TestSequenceSelfCopyDropped(t *testing.T) {
+	next := ir.VarID(1)
+	seq := SequenceParallelCopies([]Copy{{0, 0}}, tempFactory(&next))
+	if len(seq) != 0 {
+		t.Fatalf("self copy not dropped: %v", seq)
+	}
+}
+
+func TestSequenceFanOut(t *testing.T) {
+	// One source feeding many destinations, including a cycle through it.
+	checkEquivalent(t, 4, []Copy{{1, 0}, {2, 0}, {3, 0}, {0, 3}})
+}
+
+func TestSequenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 500; trial++ {
+		nvars := ir.VarID(2 + rng.Intn(8))
+		// Random permutation-with-repeats source assignment over a random
+		// subset of destinations (destinations must be distinct).
+		perm := rng.Perm(int(nvars))
+		ncopies := 1 + rng.Intn(int(nvars))
+		var copies []Copy
+		for i := 0; i < ncopies; i++ {
+			copies = append(copies, Copy{Dst: ir.VarID(perm[i]), Src: ir.VarID(rng.Intn(int(nvars)))})
+		}
+		checkEquivalent(t, nvars, copies)
+	}
+}
+
+func TestInsertCopiesRewritesTerminatorRead(t *testing.T) {
+	// Block ends in "br x"; a pending copy overwrites x. The branch must
+	// still see the old value (the copies happen on the edge).
+	f := ir.NewFunc("term")
+	x, y := f.NewVar("x"), f.NewVar("y")
+	bld := ir.NewBuilder(f)
+	b1, b2 := bld.NewBlock(), bld.NewBlock()
+	bld.Const(x, 0)
+	bld.Const(y, 1)
+	bld.Br(x, b1, b2)
+	bld.SetBlock(b1)
+	bld.Ret(x)
+	bld.SetBlock(b2)
+	bld.Ret(x)
+
+	entry := f.Blocks[0]
+	newTemp := func() ir.VarID { return f.NewVar("") }
+	InsertCopiesAtEnd(f, entry, []Copy{{Dst: x, Src: y}}, newTemp)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	term := entry.Terminator()
+	if term.Args[0] == x {
+		t.Fatal("terminator still reads overwritten variable")
+	}
+	// The saved value must be copied from x before x is clobbered.
+	found := false
+	for i := range entry.Instrs {
+		in := &entry.Instrs[i]
+		if in.Op == ir.OpCopy && in.Def == term.Args[0] && in.Args[0] == x {
+			found = true
+			break
+		}
+		if in.Op == ir.OpCopy && in.Def == x {
+			break // clobbered first: fail below
+		}
+	}
+	if !found {
+		t.Fatalf("old value of x not saved before clobber:\n%s", f)
+	}
+}

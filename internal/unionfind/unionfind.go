@@ -1,0 +1,72 @@
+// Package unionfind implements a disjoint-set forest with union by rank
+// and path compression, giving the O(α(n)) amortized bound the paper's
+// complexity analysis relies on (§3.7).
+package unionfind
+
+// UF is a disjoint-set forest over the integers [0, n).
+type UF struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Len returns the size of the universe.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Find returns the canonical representative of x's set.
+func (u *UF) Find(x int) int {
+	root := x
+	for u.parent[root] != int32(root) {
+		root = int(u.parent[root])
+	}
+	for u.parent[x] != int32(root) {
+		u.parent[x], x = int32(root), int(u.parent[x])
+	}
+	return root
+}
+
+// Union merges the sets of x and y and returns the representative of the
+// merged set. It reports false if they were already in the same set.
+func (u *UF) Union(x, y int) (root int, merged bool) {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return rx, false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = int32(rx)
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return rx, true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Grow extends the universe to n elements, adding singletons.
+func (u *UF) Grow(n int) {
+	for i := len(u.parent); i < n; i++ {
+		u.parent = append(u.parent, int32(i))
+		u.rank = append(u.rank, 0)
+		u.sets++
+	}
+}

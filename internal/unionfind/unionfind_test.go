@@ -1,0 +1,97 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	u := New(10)
+	if u.Sets() != 10 {
+		t.Fatalf("Sets = %d, want 10", u.Sets())
+	}
+	if _, merged := u.Union(1, 2); !merged {
+		t.Fatal("Union(1,2) reported no merge")
+	}
+	if _, merged := u.Union(2, 1); merged {
+		t.Fatal("repeat Union reported merge")
+	}
+	u.Union(3, 4)
+	u.Union(1, 4)
+	for _, pair := range [][2]int{{1, 2}, {1, 3}, {2, 4}} {
+		if !u.Same(pair[0], pair[1]) {
+			t.Errorf("Same(%d,%d) = false", pair[0], pair[1])
+		}
+	}
+	if u.Same(1, 5) {
+		t.Error("Same(1,5) = true")
+	}
+	if u.Sets() != 7 {
+		t.Fatalf("Sets = %d, want 7", u.Sets())
+	}
+}
+
+func TestFindIsCanonical(t *testing.T) {
+	u := New(100)
+	for i := 1; i < 100; i++ {
+		u.Union(i-1, i)
+	}
+	root := u.Find(0)
+	for i := 0; i < 100; i++ {
+		if u.Find(i) != root {
+			t.Fatalf("Find(%d) = %d, want %d", i, u.Find(i), root)
+		}
+	}
+	if u.Sets() != 1 {
+		t.Fatalf("Sets = %d, want 1", u.Sets())
+	}
+}
+
+func TestGrow(t *testing.T) {
+	u := New(2)
+	u.Union(0, 1)
+	u.Grow(5)
+	if u.Len() != 5 || u.Sets() != 4 {
+		t.Fatalf("Len=%d Sets=%d, want 5, 4", u.Len(), u.Sets())
+	}
+	if u.Same(0, 3) {
+		t.Fatal("new singleton merged with old set")
+	}
+}
+
+// Property: union-find agrees with a naive label-propagation oracle.
+func TestQuickAgainstNaive(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		const n = 64
+		u := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for _, p := range pairs {
+			a, b := int(p[0])%n, int(p[1])%n
+			u.Union(a, b)
+			if label[a] != label[b] {
+				relabel(label[a], label[b])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
