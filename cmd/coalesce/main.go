@@ -7,6 +7,7 @@
 //	coalesce [flags] file.kl
 //	coalesce -algo new -stats testdata/vswap.kl
 //	coalesce -algo briggs* -dump-ssa -run "1,2" kernel.kl
+//	coalesce -batch dir/ -jobs 8 -stats
 //
 // Flags:
 //
@@ -16,17 +17,21 @@
 //	-dump-ssa print the SSA form before destruction
 //	-stats    print conversion statistics
 //	-run      comma-separated scalar args: execute before/after and compare
+//	-batch    compile every .kl/.ir file under a directory concurrently
+//	-jobs     worker count for -batch (default: one per CPU)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
 	"fastcoalesce/internal/core"
-	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/interp"
 	"fastcoalesce/internal/ir"
@@ -43,10 +48,19 @@ func main() {
 	stats := flag.Bool("stats", false, "print conversion statistics")
 	optimize := flag.Bool("opt", false, "run value numbering + DCE on the SSA form (new/standard only)")
 	runArgs := flag.String("run", "", "comma-separated scalar args to execute with")
+	batch := flag.String("batch", "", "compile every .kl/.ir file under this directory through the batch driver")
+	jobs := flag.Int("jobs", 0, "worker count for -batch (0 = one per CPU)")
 	flag.Parse()
 
+	if *batch != "" {
+		if err := runBatch(*batch, *algo, *jobs, *stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: coalesce [flags] file.kl")
+		fmt.Fprintln(os.Stderr, "usage: coalesce [flags] file.kl  |  coalesce -batch dir/")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -139,7 +153,9 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 		}
 	case "briggs", "briggs*":
 		ifgraph.JoinPhiWebs(f)
-		depth := dom.New(f).FindLoops().Depth
+		// JoinPhiWebs only renames; the CFG is unchanged since the SSA
+		// build, so the construction-time dominator tree still applies.
+		depth := ssaStats.Dom.FindLoops().Depth
 		cs := ifgraph.Coalesce(f, ifgraph.Options{Improved: algo == "briggs*", Depth: depth})
 		if stats {
 			fmt.Printf("%s: φs=%d passes=%d coalesced=%d matrix-bytes=%d\n",
@@ -186,6 +202,74 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 		}
 		fmt.Printf("run(%v): original=%d rewritten=%d [%s]; dynamic copies %d -> %d\n",
 			args, want.Ret, got.Ret, status, want.Counts.Copies, got.Counts.Copies)
+	}
+	return nil
+}
+
+// runBatch compiles every .kl/.ir file under dir through the concurrent
+// batch driver, prints one summary line per function in deterministic
+// (path) order, and finishes with the batch metrics table.
+func runBatch(dir, algoName string, workers int, stats bool) error {
+	algo, err := driver.ParseAlgo(algoName)
+	if err != nil {
+		return err
+	}
+	var paths []string
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && (strings.HasSuffix(path, ".kl") || strings.HasSuffix(path, ".ir")) {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return fmt.Errorf("no .kl or .ir files under %s", dir)
+	}
+
+	var batchJobs []driver.Job
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, ".ir") {
+			batchJobs = append(batchJobs, driver.Job{Name: path, Src: string(src), IR: true})
+			continue
+		}
+		// A .kl file may hold several functions; submit each one as its
+		// own job so they spread across workers.
+		funcs, err := lang.Compile(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, f := range funcs {
+			batchJobs = append(batchJobs, driver.Job{Name: path + ":" + f.Name, Func: f})
+		}
+	}
+
+	results, snap := driver.Run(batchJobs, driver.Config{Algo: algo, Workers: workers})
+	bad := 0
+	for _, r := range results {
+		if r.Err != nil {
+			bad++
+			fmt.Printf("%-40s ERROR %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Printf("%-40s blocks %-4d copies %-4d φs-coalesced %d\n",
+			r.Name, r.Func.NumBlocks(), r.Metrics.StaticCopies, r.Metrics.CopiesCoalesced)
+	}
+	if stats {
+		fmt.Println()
+		fmt.Print(snap.Table())
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d functions failed", bad, len(batchJobs))
 	}
 	return nil
 }

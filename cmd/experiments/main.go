@@ -9,15 +9,18 @@
 //	experiments -table 4        # one table
 //	experiments -repeat 9       # more timing repetitions
 //	experiments -scaling        # complexity scaling study only
+//	experiments -throughput     # batch-compilation throughput study
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"fastcoalesce/internal/bench"
+	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/lang"
 )
 
@@ -27,10 +30,15 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run the O(n α(n)) scaling study instead")
 	ext := flag.Bool("ext", false, "run the optimizer-pipeline extension experiment instead")
 	alloc := flag.Int("alloc", 0, "run the register-allocation experiment with this many registers")
+	throughput := flag.Bool("throughput", false, "run the batch-compilation throughput study instead")
 	flag.Parse()
 
 	if *scaling {
 		runScaling()
+		return
+	}
+	if *throughput {
+		runThroughput(*repeat)
 		return
 	}
 	if *ext {
@@ -143,6 +151,79 @@ func runScaling() {
 		}
 		fmt.Printf("%8d %12d %12d %10.0f\n", stmts, b, s, float64(b)/float64(s))
 	}
+}
+
+// runThroughput measures batch-compilation throughput (functions per
+// second) for the New pipeline as the driver's worker count grows, plus
+// the allocation saving from per-worker Scratch reuse. Worker counts
+// beyond runtime.NumCPU() exercise the pool's oversubscription behavior
+// but cannot add speedup; the speedup column is only meaningful up to the
+// core count, which the header reports.
+func runThroughput(repeat int) {
+	// The compilation stream: the kernel suite plus generated functions,
+	// large enough that a batch takes a measurable time per worker count.
+	var jobs []driver.Job
+	for _, w := range bench.Workloads() {
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
+	}
+	for seed := int64(0); seed < 120; seed++ {
+		w := bench.Generate(seed, bench.GenConfig{Stmts: 120, MaxDepth: 4, Scalars: 3, Arrays: 2})
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
+	}
+
+	ncpu := runtime.NumCPU()
+	fmt.Printf("Throughput study: %d functions per batch, New pipeline, best of %d\n", len(jobs), repeat)
+	fmt.Printf("(host has %d CPU(s); speedup saturates at the core count)\n\n", ncpu)
+	fmt.Printf("%8s %14s %14s %10s\n", "workers", "wall", "funcs/sec", "speedup")
+
+	ladder := []int{1, 2, 4, 8}
+	for ncpu > ladder[len(ladder)-1] {
+		ladder = append(ladder, ladder[len(ladder)-1]*2)
+	}
+	base := 0.0
+	for _, workers := range ladder {
+		best := (*driver.Snapshot)(nil)
+		for rep := 0; rep < repeat; rep++ {
+			results, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: workers})
+			for _, r := range results {
+				check(r.Err)
+			}
+			if best == nil || snap.Wall < best.Wall {
+				best = snap
+			}
+		}
+		if base == 0 {
+			base = best.FuncsPerSec
+		}
+		fmt.Printf("%8d %14v %14.1f %9.2fx\n",
+			workers, best.Wall.Round(time.Microsecond), best.FuncsPerSec, best.FuncsPerSec/base)
+	}
+
+	// Allocation saving from Scratch reuse over the conversion span (SSA
+	// build through rewrite — the span of the paper's Tables 2/3), single
+	// worker so the delta is attributable. The jobs carry pre-built IR:
+	// parsing allocates the same AST either way and would dilute the
+	// ratio. A warm-up batch absorbs one-time runtime costs.
+	fmt.Println("\nScratch-reuse allocation saving (workers=1, conversion span):")
+	irJobs := make([]driver.Job, 0, len(jobs))
+	for _, j := range jobs {
+		f, err := lang.CompileOne(j.Src)
+		check(err)
+		irJobs = append(irJobs, driver.Job{Name: j.Name, Func: f})
+	}
+	cfg := driver.Config{Algo: driver.New, Workers: 1}
+	driver.Run(irJobs[:1], cfg)
+	_, withScratch := driver.Run(irJobs, cfg)
+	cfg.NoScratch = true
+	_, noScratch := driver.Run(irJobs, cfg)
+	fmt.Printf("%14s %14s %14s\n", "", "bytes", "bytes/func")
+	fmt.Printf("%14s %14d %14d\n", "no reuse", noScratch.AllocBytes, noScratch.AllocBytes/int64(len(irJobs)))
+	fmt.Printf("%14s %14d %14d\n", "scratch", withScratch.AllocBytes, withScratch.AllocBytes/int64(len(irJobs)))
+	fmt.Printf("%14s %13.1f%%\n", "ratio", 100*float64(withScratch.AllocBytes)/float64(noScratch.AllocBytes))
+
+	fmt.Println("\nBatch snapshot at the largest worker count:")
+	_, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: ladder[len(ladder)-1]})
+	fmt.Print(snap.Table())
 }
 
 func check(err error) {

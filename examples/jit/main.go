@@ -2,8 +2,9 @@
 // interference graph makes graph-coloring-quality copy elimination cheap
 // enough for just-in-time compilers (§1, §5). This example plays a JIT
 // compiling a stream of functions — the workload suite plus generated
-// kernels — and compares total conversion latency and result quality for
-// the three contenders.
+// kernels — through the concurrent batch driver, and compares total
+// conversion latency and result quality for the four contenders. Each
+// driver worker reuses a Scratch arena, the way a resident JIT would.
 //
 //	go run ./examples/jit
 package main
@@ -11,73 +12,47 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"fastcoalesce/internal/bench"
-	"fastcoalesce/internal/ir"
-	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/driver"
 )
 
 func main() {
 	// The compilation stream: every suite kernel plus 60 generated ones.
-	var funcs []*ir.Func
+	var jobs []driver.Job
 	for _, w := range bench.Workloads() {
-		f, err := bench.CompileWorkload(w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		funcs = append(funcs, f)
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
 	}
 	for seed := int64(0); seed < 60; seed++ {
 		w := bench.Generate(seed, bench.GenConfig{Stmts: 120, MaxDepth: 4, Scalars: 3, Arrays: 2})
-		f, err := lang.CompileOne(w.Src)
-		if err != nil {
-			log.Fatal(err)
-		}
-		funcs = append(funcs, f)
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
 	}
-	fmt.Printf("JIT stream: %d functions, %d blocks, %d instructions\n\n",
-		len(funcs), totalBlocks(funcs), totalInstrs(funcs))
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("JIT stream: %d functions, %d workers\n\n", len(jobs), workers)
 
-	type tally struct {
-		dur    time.Duration
-		copies int
-	}
-	results := map[bench.Algo]*tally{}
-	for _, algo := range []bench.Algo{bench.Standard, bench.New, bench.Briggs, bench.BriggsStar} {
-		t := &tally{}
-		for _, f := range funcs {
-			r := bench.RunPipeline(f, algo)
-			t.dur += r.Duration
-			t.copies += r.StaticCopies
+	snaps := map[driver.Algo]*driver.Snapshot{}
+	for _, algo := range driver.Algos {
+		results, snap := driver.Run(jobs, driver.Config{Algo: algo, Workers: workers})
+		for _, r := range results {
+			if r.Err != nil {
+				log.Fatalf("%s (%v): %v", r.Name, algo, r.Err)
+			}
 		}
-		results[algo] = t
+		snaps[algo] = snap
 	}
 
-	fmt.Printf("%-10s %14s %14s %10s\n", "algorithm", "total time", "vs New", "copies")
-	for _, algo := range []bench.Algo{bench.Standard, bench.New, bench.Briggs, bench.BriggsStar} {
-		t := results[algo]
-		fmt.Printf("%-10s %14v %13.2fx %10d\n",
-			algo, t.dur.Round(time.Microsecond),
-			float64(t.dur)/float64(results[bench.New].dur), t.copies)
+	fmt.Printf("%-10s %14s %12s %14s %10s\n", "algorithm", "wall", "funcs/sec", "vs New", "copies")
+	for _, algo := range driver.Algos {
+		s := snaps[algo]
+		fmt.Printf("%-10s %14v %12.1f %13.2fx %10d\n",
+			algo, s.Wall.Round(time.Microsecond), s.FuncsPerSec,
+			float64(s.Wall)/float64(snaps[driver.New].Wall), s.StaticCopies)
 	}
 	fmt.Println("\nThe JIT takeaway: New matches the interference-graph coalescers'")
 	fmt.Println("copy quality at a fraction of the conversion latency, while")
-	fmt.Println("Standard is fastest but floods the code with copies.")
-}
-
-func totalBlocks(fs []*ir.Func) int {
-	n := 0
-	for _, f := range fs {
-		n += f.NumBlocks()
-	}
-	return n
-}
-
-func totalInstrs(fs []*ir.Func) int {
-	n := 0
-	for _, f := range fs {
-		n += f.NumInstrs()
-	}
-	return n
+	fmt.Println("Standard is fastest but floods the code with copies. The batch")
+	fmt.Println("driver spreads the stream over a worker pool; on a multicore")
+	fmt.Println("host, throughput scales with the worker count.")
 }

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"fastcoalesce/internal/core"
-	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/interp"
 	"fastcoalesce/internal/ir"
@@ -15,41 +15,20 @@ import (
 )
 
 // Algo selects one of the four SSA-to-CFG conversion pipelines the paper
-// compares (§4): the nomenclature follows the paper.
-type Algo int
+// compares (§4). The type lives in the batch driver; bench re-exports it
+// so the experiment code and the driver agree on pipeline identity.
+type Algo = driver.Algo
 
-// The pipelines.
+// The pipelines (see driver for the paper nomenclature).
 const (
-	// Standard is the Briggs et al. φ-node instantiation that eliminates
-	// no copies.
-	Standard Algo = iota
-	// New is the paper's algorithm (internal/core).
-	New
-	// Briggs is the Chaitin/Briggs interference-graph coalescer over the
-	// full live-range namespace.
-	Briggs
-	// BriggsStar is the §4.1 improved interference-graph coalescer
-	// (copy-involved names only).
-	BriggsStar
+	Standard   = driver.Standard
+	New        = driver.New
+	Briggs     = driver.Briggs
+	BriggsStar = driver.BriggsStar
 )
 
-// String returns the paper's name for the algorithm.
-func (a Algo) String() string {
-	switch a {
-	case Standard:
-		return "Standard"
-	case New:
-		return "New"
-	case Briggs:
-		return "Briggs"
-	case BriggsStar:
-		return "Briggs*"
-	}
-	return fmt.Sprintf("Algo(%d)", int(a))
-}
-
 // Algos lists all pipelines in table order.
-var Algos = []Algo{Standard, New, Briggs, BriggsStar}
+var Algos = driver.Algos
 
 // PipelineResult is the outcome of compiling one function with one
 // pipeline.
@@ -95,7 +74,10 @@ func RunPipeline(f *ir.Func, algo Algo) *PipelineResult {
 		res.SSAStats = ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: false})
 		p0 := time.Now()
 		ifgraph.JoinPhiWebs(g)
-		depth := dom.New(g).FindLoops().Depth
+		// JoinPhiWebs only renames instructions; the CFG is unchanged
+		// since the SSA build, so its dominator tree serves the loop-depth
+		// query — recomputing here would double the dominator work.
+		depth := res.SSAStats.Dom.FindLoops().Depth
 		res.GraphStats = ifgraph.Coalesce(g, ifgraph.Options{
 			Improved: algo == BriggsStar,
 			Depth:    depth,

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"fastcoalesce/internal/dom"
+)
+
+// TestPipelineComputesDominatorsOnce guards against the pipelines
+// recomputing a dominator tree they could reuse: every pipeline builds
+// dominators exactly once, during SSA construction. The Briggs variants
+// in particular used to rebuild the tree for their loop-depth query even
+// though φ-web joining leaves the CFG untouched.
+func TestPipelineComputesDominatorsOnce(t *testing.T) {
+	w, ok := WorkloadByName("tomcatv")
+	if !ok {
+		t.Fatal("tomcatv workload missing")
+	}
+	f, err := CompileWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algos {
+		before := dom.RecomputeCount()
+		res := RunPipeline(f, algo)
+		if got := dom.RecomputeCount() - before; got != 1 {
+			t.Errorf("%v: %d dominator computations for one function, want 1", algo, got)
+		}
+		if res.SSAStats.Dom == nil {
+			t.Errorf("%v: SSA build did not publish its dominator tree", algo)
+		}
+	}
+}

@@ -35,8 +35,11 @@ import (
 	"time"
 
 	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/domforest"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/liveness"
+	"fastcoalesce/internal/reuse"
+	"fastcoalesce/internal/ssa"
 	"fastcoalesce/internal/unionfind"
 )
 
@@ -101,17 +104,59 @@ type Stats struct {
 	AlgoTime     time.Duration
 }
 
+// Scratch holds the reusable state of one Coalesce run: the liveness and
+// dominator scratch, the union-find forest, the per-variable indexes, and
+// the class/rewrite buffers. A warm Scratch makes the steady-state
+// conversion of same-sized functions allocate close to nothing.
+//
+// A Scratch belongs to one goroutine; the batch driver keeps one per
+// worker. The zero value is ready to use.
+type Scratch struct {
+	live   liveness.Scratch
+	dom    dom.Tree
+	uf     unionfind.UF
+	forest domforest.Forest
+
+	defBlock []ir.BlockID
+	defIdx   []int32
+	isPhiDef []bool
+	phis     []phiRec
+	phiOfDef []int32
+	argUses  [][]int32
+	classOf  []int32
+	members  [][]ir.VarID
+	weight   []float64
+	dirty    []bool
+
+	claimed  map[ir.VarID]int32              // step-1 per-block claim table
+	blocks   map[int]map[ir.BlockID]ir.VarID // def-block occupancy, keyed by UF root
+	freeMaps []map[ir.BlockID]ir.VarID       // recycled occupancy maps
+	order    []int                           // step-1 φ-arg sort order
+	stack    []int                           // forest-walk DFS stack
+	rep      []ir.VarID                      // step-4 representative names
+	waiting  [][]ssa.Copy                    // step-4 staged copies per block
+}
+
 // Coalesce converts f out of SSA form in place, coalescing φ-induced
 // copies. f must be in strict SSA form with critical edges already split
 // (ssa.Build does both). After Coalesce, f contains no φ-nodes.
 func Coalesce(f *ir.Func, opt Options) *Stats {
+	return CoalesceScratch(f, opt, &Scratch{})
+}
+
+// CoalesceScratch is Coalesce reusing sc's memory. The results written to
+// f are identical to Coalesce's; only the allocation behavior differs. sc
+// must not be shared with a concurrent CoalesceScratch call.
+func CoalesceScratch(f *ir.Func, opt Options, sc *Scratch) *Stats {
 	t0 := time.Now()
-	c := newCoalescer(f, opt)
+	c := newCoalescer(f, opt, sc)
 	t1 := time.Now()
 	c.unionPhiResources()   // step 1
 	c.materializeClasses()  //
 	c.resolveInterference() // steps 2 and 3, to fixpoint
 	c.rewrite()             // step 4
+	// Slices that grew by append during the run flow back into sc.
+	sc.phis, sc.members, sc.dirty = c.phis, c.members, c.dirty
 	c.st.AnalysisTime = t1.Sub(t0)
 	c.st.AlgoTime = time.Since(t1)
 	return c.st
@@ -127,6 +172,7 @@ type coalescer struct {
 	f    *ir.Func
 	opt  Options
 	st   *Stats
+	sc   *Scratch
 	dt   *dom.Tree
 	live *liveness.Info
 
@@ -146,26 +192,49 @@ type coalescer struct {
 	dirty  []bool    // per class: needs (re-)walking this round
 }
 
-func newCoalescer(f *ir.Func, opt Options) *coalescer {
+func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 	nv := f.NumVars()
 	dt := opt.Dom
 	if dt == nil {
-		dt = dom.New(f)
+		sc.dom.Recompute(f)
+		dt = &sc.dom
+	}
+	sc.defBlock = reuse.Slice(sc.defBlock, nv)
+	sc.defIdx = reuse.Slice(sc.defIdx, nv)
+	sc.isPhiDef = reuse.Zeroed(sc.isPhiDef, nv)
+	sc.phiOfDef = reuse.Slice(sc.phiOfDef, nv)
+	sc.argUses = reuse.Truncated(sc.argUses, nv)
+	sc.classOf = reuse.Slice(sc.classOf, nv)
+	sc.uf.Reset(nv)
+	if sc.claimed == nil {
+		sc.claimed = make(map[ir.VarID]int32)
+	}
+	if sc.blocks == nil {
+		sc.blocks = make(map[int]map[ir.BlockID]ir.VarID)
+	} else {
+		for _, m := range sc.blocks {
+			sc.freeMaps = append(sc.freeMaps, m)
+		}
+		clear(sc.blocks)
 	}
 	c := &coalescer{
 		f:        f,
 		opt:      opt,
 		st:       &Stats{},
+		sc:       sc,
 		dt:       dt,
-		live:     liveness.Compute(f),
-		defBlock: make([]ir.BlockID, nv),
-		defIdx:   make([]int32, nv),
-		isPhiDef: make([]bool, nv),
-		phiOfDef: make([]int32, nv),
-		argUses:  make([][]int32, nv),
-		uf:       unionfind.New(nv),
-		blocks:   make(map[int]map[ir.BlockID]ir.VarID),
-		classOf:  make([]int32, nv),
+		live:     liveness.ComputeScratch(f, &sc.live),
+		defBlock: sc.defBlock,
+		defIdx:   sc.defIdx,
+		isPhiDef: sc.isPhiDef,
+		phis:     sc.phis[:0],
+		phiOfDef: sc.phiOfDef,
+		argUses:  sc.argUses,
+		uf:       &sc.uf,
+		blocks:   sc.blocks,
+		classOf:  sc.classOf,
+		members:  sc.members[:0],
+		dirty:    sc.dirty,
 	}
 	for i := range c.defBlock {
 		c.defBlock[i] = ir.NoBlock
@@ -173,7 +242,8 @@ func newCoalescer(f *ir.Func, opt Options) *coalescer {
 		c.classOf[i] = -1
 	}
 	if opt.NoDepthWeight {
-		c.weight = make([]float64, len(f.Blocks))
+		sc.weight = reuse.Slice(sc.weight, len(f.Blocks))
+		c.weight = sc.weight
 		for i := range c.weight {
 			c.weight[i] = 1
 		}
@@ -225,7 +295,8 @@ func (c *coalescer) blockMap(root int) map[ir.BlockID]ir.VarID {
 //  5. ai's defining block is already occupied by another member of the
 //     class (which also keeps Definition 3.1 satisfiable).
 func (c *coalescer) unionPhiResources() {
-	claimed := make(map[ir.VarID]int32)
+	claimed := c.sc.claimed
+	clear(claimed)
 	curBlock := ir.NoBlock
 	for pi := range c.phis {
 		rec := c.phis[pi]
@@ -240,7 +311,8 @@ func (c *coalescer) unionPhiResources() {
 		// a name (check 4) or a def-block slot (check 5), the frequent
 		// edge should win the free coalesce and the copy should land on
 		// the cold edge.
-		order := make([]int, len(in.Args))
+		order := reuse.Slice(c.sc.order, len(in.Args))
+		c.sc.order = order
 		for i := range order {
 			order[i] = i
 		}
@@ -311,14 +383,27 @@ func (c *coalescer) defBlockConflict(r1, r2 int) bool {
 	return false
 }
 
+// newBlockMap returns a single-entry occupancy map, recycling one freed
+// by an earlier merge when available.
+func (c *coalescer) newBlockMap(b ir.BlockID, v ir.VarID) map[ir.BlockID]ir.VarID {
+	if n := len(c.sc.freeMaps); n > 0 {
+		m := c.sc.freeMaps[n-1]
+		c.sc.freeMaps = c.sc.freeMaps[:n-1]
+		clear(m)
+		m[b] = v
+		return m
+	}
+	return map[ir.BlockID]ir.VarID{b: v}
+}
+
 func (c *coalescer) mergeClasses(r1, r2 int) {
 	m1, m2 := c.blockMap(r1), c.blockMap(r2)
 	root, _ := c.uf.Union(r1, r2)
 	if m1 == nil {
-		m1 = map[ir.BlockID]ir.VarID{c.defBlock[r1]: ir.VarID(r1)}
+		m1 = c.newBlockMap(c.defBlock[r1], ir.VarID(r1))
 	}
 	if m2 == nil {
-		m2 = map[ir.BlockID]ir.VarID{c.defBlock[r2]: ir.VarID(r2)}
+		m2 = c.newBlockMap(c.defBlock[r2], ir.VarID(r2))
 	}
 	if len(m1) < len(m2) {
 		m1, m2 = m2, m1
@@ -329,6 +414,7 @@ func (c *coalescer) mergeClasses(r1, r2 int) {
 	delete(c.blocks, r1)
 	delete(c.blocks, r2)
 	c.blocks[root] = m1
+	c.sc.freeMaps = append(c.sc.freeMaps, m2)
 }
 
 // materializeClasses converts union-find sets into explicit member lists;
@@ -351,13 +437,25 @@ func (c *coalescer) materializeClasses() {
 		}
 		k := byRoot[root]
 		if k < 0 {
-			k = int32(len(c.members))
+			k = c.newClass()
 			byRoot[root] = k
-			c.members = append(c.members, nil)
 		}
 		c.classOf[v] = k
 		c.members[k] = append(c.members[k], ir.VarID(v))
 	}
+}
+
+// newClass appends an empty class and returns its index, regrowing into
+// retained capacity so a reused Scratch keeps the member slices' backing.
+func (c *coalescer) newClass() int32 {
+	k := int32(len(c.members))
+	if cap(c.members) > len(c.members) {
+		c.members = c.members[:k+1]
+		c.members[k] = c.members[k][:0]
+	} else {
+		c.members = append(c.members, nil)
+	}
+	return k
 }
 
 // sameClass reports whether u and v share a congruence class.

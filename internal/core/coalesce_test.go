@@ -78,7 +78,7 @@ func checkClassesNonInterfering(t *testing.T, f *ir.Func, opt Options) {
 	t.Helper()
 	g := f.Clone()
 	ssa.Build(g, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
-	c := newCoalescer(g, opt)
+	c := newCoalescer(g, opt, &Scratch{})
 	c.unionPhiResources()
 	c.materializeClasses()
 	c.resolveInterference()

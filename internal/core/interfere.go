@@ -3,6 +3,7 @@ package core
 import (
 	"fastcoalesce/internal/domforest"
 	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/reuse"
 	"fmt"
 )
 
@@ -22,7 +23,7 @@ func (c *coalescer) resolveInterference() {
 	// that a split touched (splits elsewhere cannot create new
 	// interference in an untouched class). Edge-cut splits append new
 	// classes, which arrive dirty and are walked next round.
-	c.dirty = make([]bool, len(c.members))
+	c.dirty = reuse.Slice(c.dirty, len(c.members))
 	for i := range c.dirty {
 		c.dirty[i] = true
 	}
@@ -111,10 +112,10 @@ type conflict struct {
 // member Figure 2 would split), or the local-check pairs if the walk is
 // clean.
 func (c *coalescer) walkForest(k int32) (cf conflict, found bool, pairs []pair) {
-	fo := domforest.Build(c.dt, c.members[k], func(v ir.VarID) ir.BlockID {
+	fo := domforest.BuildInto(&c.sc.forest, c.dt, c.members[k], func(v ir.VarID) ir.BlockID {
 		return c.defBlock[v]
 	})
-	var stack []int
+	stack := c.sc.stack[:0]
 	for i := len(fo.Roots) - 1; i >= 0; i-- {
 		stack = append(stack, fo.Roots[i])
 	}
@@ -139,12 +140,14 @@ func (c *coalescer) walkForest(k int32) (cf conflict, found bool, pairs []pair) 
 			if c.parentOtherwiseClean(fo, node.Parent, n) && c.splitCost(cv) < c.splitCost(pv) {
 				cf.victim = cv
 			}
+			c.sc.stack = stack[:0]
 			return cf, true, nil
 		}
 		if c.live.LiveIn(node.Block, pv) {
 			pairs = append(pairs, pair{p: pv, c: cv})
 		}
 	}
+	c.sc.stack = stack[:0]
 	return conflict{}, false, pairs
 }
 

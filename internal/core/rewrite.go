@@ -2,6 +2,7 @@ package core
 
 import (
 	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/reuse"
 	"fastcoalesce/internal/ssa"
 )
 
@@ -15,7 +16,8 @@ func (c *coalescer) rewrite() {
 	nv := f.NumVars()
 
 	// One representative name per class; singletons keep their own name.
-	rep := make([]ir.VarID, nv)
+	rep := reuse.Slice(c.sc.rep, nv)
+	c.sc.rep = rep
 	for v := 0; v < nv; v++ {
 		rep[v] = ir.VarID(v)
 	}
@@ -36,7 +38,8 @@ func (c *coalescer) rewrite() {
 
 	// Stage the copies: one per φ argument whose class differs from the
 	// φ's class, destined for the end of the feeding predecessor.
-	waiting := make([][]ssa.Copy, len(f.Blocks))
+	waiting := reuse.Truncated(c.sc.waiting, len(f.Blocks))
+	c.sc.waiting = waiting
 	for pi := range c.phis {
 		in := c.phiInstr(int32(pi))
 		blk := f.Blocks[c.phis[pi].block]

@@ -8,9 +8,29 @@
 // SSA" preprocessing step of the paper's dominance-forest construction
 // (Figure 1): block A strictly dominates block B exactly when
 // pre(A) < pre(B) <= maxpre(A).
+//
+// Concurrency: a Tree is immutable after New/Recompute and safe for
+// concurrent readers, but Recompute mutates in place — a Tree being
+// recomputed must be owned by one goroutine. Recompute is the
+// Scratch-reuse hook: batch workers keep one Tree per worker and
+// recompute it per function, reusing all of its slices.
 package dom
 
-import "fastcoalesce/internal/ir"
+import (
+	"sync/atomic"
+
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/reuse"
+)
+
+// recomputeCount counts dominator (re)computations process-wide.
+var recomputeCount atomic.Int64
+
+// RecomputeCount returns how many dominator computations this process has
+// performed — a test hook guarding against pipelines recomputing a tree
+// they could reuse (SSA construction already publishes one via
+// ssa.Stats.Dom).
+func RecomputeCount() int64 { return recomputeCount.Load() }
 
 // Tree holds dominator information for a function whose blocks are all
 // reachable from the entry (run ir.Func.RemoveUnreachable first).
@@ -32,35 +52,50 @@ type Tree struct {
 	// RPO is a reverse postorder over the CFG; RPONum[b] is b's position.
 	RPO    []ir.BlockID
 	RPONum []int32
+
+	// Reusable DFS state (see Recompute).
+	state  []uint8
+	frames []dfsFrame
+}
+
+type dfsFrame struct {
+	b ir.BlockID
+	i int
 }
 
 // New computes the dominator tree of f.
 func New(f *ir.Func) *Tree {
+	t := &Tree{}
+	t.Recompute(f)
+	return t
+}
+
+// Recompute rebuilds the dominator information for f in place, reusing
+// t's slices — the Scratch-reuse hook for batch compilation. A zero Tree
+// is valid input. Results previously read from t are invalidated.
+func (t *Tree) Recompute(f *ir.Func) {
+	recomputeCount.Add(1)
 	n := len(f.Blocks)
-	t := &Tree{
-		f:      f,
-		Idom:   make([]ir.BlockID, n),
-		Pre:    make([]int32, n),
-		MaxPre: make([]int32, n),
-		RPONum: make([]int32, n),
-	}
+	t.f = f
+	t.Idom = reuse.Slice(t.Idom, n)
+	// Pre/MaxPre/RPONum are zeroed, not just resized: only reachable
+	// blocks are rewritten below, and FindLoops queries Dominates on every
+	// block — stale numbers on unreachable blocks would fabricate edges.
+	t.Pre = reuse.Zeroed(t.Pre, n)
+	t.MaxPre = reuse.Zeroed(t.MaxPre, n)
+	t.RPONum = reuse.Zeroed(t.RPONum, n)
 	t.computeRPO()
 	t.computeIdom()
 	t.buildTree()
-	return t
 }
 
 // computeRPO fills RPO/RPONum with an iterative postorder DFS, reversed.
 func (t *Tree) computeRPO() {
 	f := t.f
 	n := len(f.Blocks)
-	post := make([]ir.BlockID, 0, n)
-	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
-	type frame struct {
-		b ir.BlockID
-		i int
-	}
-	stack := []frame{{f.Entry, 0}}
+	post := reuse.Slice(t.RPO, n)[:0]
+	state := reuse.Zeroed(t.state, n) // 0 unvisited, 1 on stack, 2 done
+	stack := append(t.frames[:0], dfsFrame{f.Entry, 0})
 	state[f.Entry] = 1
 	for len(stack) > 0 {
 		fr := &stack[len(stack)-1]
@@ -70,7 +105,7 @@ func (t *Tree) computeRPO() {
 			fr.i++
 			if state[s] == 0 {
 				state[s] = 1
-				stack = append(stack, frame{s, 0})
+				stack = append(stack, dfsFrame{s, 0})
 			}
 			continue
 		}
@@ -78,10 +113,12 @@ func (t *Tree) computeRPO() {
 		post = append(post, fr.b)
 		stack = stack[:len(stack)-1]
 	}
-	t.RPO = make([]ir.BlockID, len(post))
-	for i, b := range post {
-		t.RPO[len(post)-1-i] = b
+	t.state, t.frames = state, stack[:0]
+	// Reverse in place: post and t.RPO share backing.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
 	}
+	t.RPO = post
 	for i, b := range t.RPO {
 		t.RPONum[b] = int32(i)
 	}
@@ -138,7 +175,7 @@ func (t *Tree) intersect(a, b ir.BlockID) ir.BlockID {
 func (t *Tree) buildTree() {
 	f := t.f
 	n := len(f.Blocks)
-	t.Children = make([][]ir.BlockID, n)
+	t.Children = reuse.Truncated(t.Children, n)
 	for b := 0; b < n; b++ {
 		id := t.Idom[b]
 		if id != ir.NoBlock {
@@ -148,11 +185,7 @@ func (t *Tree) buildTree() {
 	// Iterative preorder DFS over the dominator tree. MaxPre is computed
 	// on the way back up (Tarjan's trick from the paper's Figure 1).
 	var next int32
-	type frame struct {
-		b ir.BlockID
-		i int
-	}
-	stack := []frame{{f.Entry, 0}}
+	stack := append(t.frames[:0], dfsFrame{f.Entry, 0})
 	t.Pre[f.Entry] = next
 	next++
 	for len(stack) > 0 {
@@ -163,12 +196,13 @@ func (t *Tree) buildTree() {
 			fr.i++
 			t.Pre[c] = next
 			next++
-			stack = append(stack, frame{c, 0})
+			stack = append(stack, dfsFrame{c, 0})
 			continue
 		}
 		t.MaxPre[fr.b] = next - 1
 		stack = stack[:len(stack)-1]
 	}
+	t.frames = stack[:0]
 }
 
 // Dominates reports whether a dominates b (reflexively).
@@ -184,10 +218,17 @@ func (t *Tree) StrictlyDominates(a, b ir.BlockID) bool {
 // Frontiers computes the dominance frontier of every block using the
 // Cytron et al. two-predecessor walk.
 func (t *Tree) Frontiers() [][]ir.BlockID {
+	df, _ := t.FrontiersInto(nil, nil)
+	return df
+}
+
+// FrontiersInto is Frontiers reusing caller-provided buffers (both may be
+// nil or from a previous call); it returns them for the next reuse.
+func (t *Tree) FrontiersInto(df [][]ir.BlockID, inDF []ir.BlockID) ([][]ir.BlockID, []ir.BlockID) {
 	f := t.f
 	n := len(f.Blocks)
-	df := make([][]ir.BlockID, n)
-	inDF := make([]ir.BlockID, n) // last block added to df[x], to dedupe
+	df = reuse.Truncated(df, n)
+	inDF = reuse.Slice(inDF, n) // last block added to df[x], to dedupe
 	for i := range inDF {
 		inDF[i] = ir.NoBlock
 	}
@@ -207,5 +248,5 @@ func (t *Tree) Frontiers() [][]ir.BlockID {
 			}
 		}
 	}
-	return df
+	return df, inDF
 }

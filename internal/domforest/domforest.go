@@ -15,6 +15,11 @@
 // are bounded by the block count), and a stack sweep attaches each node
 // under the nearest enclosing ancestor, using the preorder/max-preorder
 // interval test for O(1) ancestry.
+//
+// Concurrency: a Forest belongs to one goroutine — the coalescer builds
+// one per congruence class per round. BuildInto is the Scratch-reuse
+// hook: core keeps one Forest per worker Scratch and rebuilds into it,
+// so the per-class walks of a warm worker allocate nothing.
 package domforest
 
 import (
@@ -30,49 +35,69 @@ type Node struct {
 	Children []int      // indices of child nodes
 }
 
-// Forest is a dominance forest over a variable set.
+// Forest is a dominance forest over a variable set. The unexported
+// fields are construction scratch, reused by BuildInto.
 type Forest struct {
 	Nodes []Node
 	Roots []int
+
+	order []int
+	count []int32
+	stack []sweepEntry
+}
+
+type sweepEntry struct {
+	node   int
+	maxPre int32
 }
 
 // Build constructs the dominance forest for vars. defBlock maps each
 // variable to its defining block; the blocks must be pairwise distinct
 // (Definition 3.1) and the variables' order need not be sorted.
 func Build(dt *dom.Tree, vars []ir.VarID, defBlock func(ir.VarID) ir.BlockID) *Forest {
+	return BuildInto(new(Forest), dt, vars, defBlock)
+}
+
+// BuildInto is Build reusing fo's memory: the previous contents of fo are
+// discarded and the new forest is constructed in place. It returns fo.
+func BuildInto(fo *Forest, dt *dom.Tree, vars []ir.VarID, defBlock func(ir.VarID) ir.BlockID) *Forest {
 	n := len(vars)
-	f := &Forest{Nodes: make([]Node, n)}
+	if cap(fo.Nodes) >= n {
+		fo.Nodes = fo.Nodes[:n]
+	} else {
+		fo.Nodes = make([]Node, n)
+	}
+	fo.Roots = fo.Roots[:0]
 	for i, v := range vars {
-		f.Nodes[i] = Node{Var: v, Block: defBlock(v), Parent: -1}
+		nd := &fo.Nodes[i]
+		nd.Var, nd.Block, nd.Parent = v, defBlock(v), -1
+		nd.Children = nd.Children[:0]
 	}
 
 	// Counting sort of node indices by preorder number of defining block.
 	// Preorder numbers are < the number of CFG blocks, so this is linear.
-	order := sortByPreorder(f.Nodes, dt)
+	order := fo.sortByPreorder(dt)
 
 	// Stack sweep (Figure 1). The virtual root is index -1 with an
 	// unbounded preorder interval; it is "removed" at the end simply by
 	// treating its children as roots.
-	type entry struct {
-		node   int
-		maxPre int32
-	}
-	stack := []entry{{node: -1, maxPre: int32(1<<31 - 1)}}
+	stack := append(fo.stack[:0], sweepEntry{node: -1, maxPre: int32(1<<31 - 1)})
 	for _, ni := range order {
-		pre := dt.Pre[f.Nodes[ni].Block]
+		pre := dt.Pre[fo.Nodes[ni].Block]
 		for pre > stack[len(stack)-1].maxPre {
 			stack = stack[:len(stack)-1]
 		}
 		parent := stack[len(stack)-1].node
-		f.Nodes[ni].Parent = parent
+		fo.Nodes[ni].Parent = parent
 		if parent < 0 {
-			f.Roots = append(f.Roots, ni)
+			fo.Roots = append(fo.Roots, ni)
 		} else {
-			f.Nodes[parent].Children = append(f.Nodes[parent].Children, ni)
+			fo.Nodes[parent].Children = append(fo.Nodes[parent].Children, ni)
 		}
-		stack = append(stack, entry{node: ni, maxPre: dt.MaxPre[f.Nodes[ni].Block]})
+		stack = append(stack, sweepEntry{node: ni, maxPre: dt.MaxPre[fo.Nodes[ni].Block]})
 	}
-	return f
+	fo.stack = stack[:0]
+	return fo
 }
 
 // sortByPreorder returns node indices ordered by increasing preorder
@@ -80,12 +105,19 @@ func Build(dt *dom.Tree, vars []ir.VarID, defBlock func(ir.VarID) ir.BlockID) *F
 // Small sets use insertion sort; larger sets use a counting sort over the
 // occupied preorder range, so the cost stays proportional to the set, not
 // to the whole CFG.
-func sortByPreorder(nodes []Node, dt *dom.Tree) []int {
+func (fo *Forest) sortByPreorder(dt *dom.Tree) []int {
+	nodes := fo.Nodes
 	n := len(nodes)
 	if n == 0 {
 		return nil
 	}
-	order := make([]int, n)
+	var order []int
+	if cap(fo.order) >= n {
+		order = fo.order[:n]
+	} else {
+		order = make([]int, n)
+		fo.order = order
+	}
 	for i := range order {
 		order[i] = i
 	}
@@ -109,7 +141,14 @@ func sortByPreorder(nodes []Node, dt *dom.Tree) []int {
 			maxPre = p
 		}
 	}
-	count := make([]int32, maxPre-minPre+2)
+	var count []int32
+	if need := int(maxPre-minPre) + 2; cap(fo.count) >= need {
+		count = fo.count[:need]
+		clear(count)
+	} else {
+		count = make([]int32, need)
+		fo.count = count
+	}
 	for i := range nodes {
 		count[dt.Pre[nodes[i].Block]-minPre+1]++
 	}

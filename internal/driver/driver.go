@@ -1,0 +1,238 @@
+// Package driver implements the concurrent batch-compilation engine: it
+// takes a list of source functions (mini-language or .ir text, or
+// pre-built ir.Funcs), runs a chosen SSA-destruction pipeline over a
+// worker pool, and reports per-phase metrics for the whole batch. It is
+// the throughput harness for the paper's compile-time claim (§4.2): the
+// algorithm's O(n α(n)) bound only pays off if the surrounding compiler
+// can sustain it function after function, so each worker reuses one
+// Scratch arena and the steady-state conversion allocates a fraction of a
+// cold run.
+//
+// Concurrency: Run is safe to call from multiple goroutines; each call
+// owns its jobs, workers, and results. Within a call, every job is
+// compiled by exactly one worker on a private clone of the input, with a
+// per-worker Scratch that never crosses goroutines. Results are written
+// to a slice slot indexed by job position, so the output order — and,
+// because every pipeline pass is deterministic, the output itself — is
+// byte-identical regardless of worker count.
+package driver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/ifgraph"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/ssa"
+)
+
+// Algo selects one of the four SSA-to-CFG conversion pipelines the paper
+// compares (§4); the nomenclature follows the paper.
+type Algo int
+
+// The pipelines.
+const (
+	// Standard is the Briggs et al. φ-node instantiation that eliminates
+	// no copies.
+	Standard Algo = iota
+	// New is the paper's algorithm (internal/core).
+	New
+	// Briggs is the Chaitin/Briggs interference-graph coalescer over the
+	// full live-range namespace.
+	Briggs
+	// BriggsStar is the §4.1 improved interference-graph coalescer
+	// (copy-involved names only).
+	BriggsStar
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case Standard:
+		return "Standard"
+	case New:
+		return "New"
+	case Briggs:
+		return "Briggs"
+	case BriggsStar:
+		return "Briggs*"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// Algos lists all pipelines in table order.
+var Algos = []Algo{Standard, New, Briggs, BriggsStar}
+
+// ParseAlgo maps a command-line name (standard, new, briggs, briggs*) to
+// its Algo.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "standard":
+		return Standard, nil
+	case "new":
+		return New, nil
+	case "briggs":
+		return Briggs, nil
+	case "briggs*":
+		return BriggsStar, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want standard, new, briggs, or briggs*)", s)
+}
+
+// Job is one function to compile. Exactly one input form is used: Func if
+// non-nil (cloned, never mutated), otherwise Src — parsed as IR text when
+// IR is set, as a one-function mini-language file when not.
+type Job struct {
+	Name string // optional; defaults to the parsed function's name
+	Src  string
+	IR   bool
+	Func *ir.Func
+}
+
+// Result is the outcome of one job, in job order.
+type Result struct {
+	Index   int
+	Name    string
+	Func    *ir.Func // the rewritten, φ-free function (nil on error)
+	Err     error
+	Metrics FuncMetrics
+}
+
+// Config configures a batch run. The zero value compiles with the
+// Standard pipeline, pruned SSA, one worker per CPU, and scratch reuse.
+type Config struct {
+	Algo    Algo
+	Flavor  ssa.Flavor // SSA flavor; the zero value is Pruned
+	Workers int        // worker-pool size; <= 0 means runtime.GOMAXPROCS(0)
+
+	// NoScratch disables per-worker Scratch reuse, making every function
+	// allocate cold — the baseline for the allocation experiments.
+	NoScratch bool
+}
+
+// Run compiles every job with cfg's pipeline across a worker pool and
+// returns the per-job results (indexed by job position) plus an aggregate
+// Snapshot. Individual job failures land in Result.Err; Run itself only
+// fails by returning those.
+func Run(jobs []Job, cfg Config) ([]Result, *Snapshot) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc *Scratch
+			if !cfg.NoScratch {
+				sc = &Scratch{}
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = compileOne(i, jobs[i], cfg, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	snap := summarize(results, cfg.Algo, workers, wall, int64(ms1.TotalAlloc-ms0.TotalAlloc))
+	return results, snap
+}
+
+// compileOne runs one job through the configured pipeline on the worker's
+// scratch (nil under Config.NoScratch).
+func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
+	res := Result{Index: idx, Name: j.Name}
+	t0 := time.Now()
+	var f *ir.Func
+	var err error
+	switch {
+	case j.Func != nil:
+		f = j.Func.Clone()
+	case j.IR:
+		f, err = ir.Parse(j.Src)
+	default:
+		f, err = lang.CompileOne(j.Src)
+	}
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if res.Name == "" {
+		res.Name = f.Name
+	}
+	m := &res.Metrics
+	m.Parse = time.Since(t0)
+
+	fold := cfg.Algo == Standard || cfg.Algo == New
+	t1 := time.Now()
+	var st *ssa.Stats
+	if f.CountPhis() > 0 {
+		// Already in SSA form (hand-written .ir input): skip construction,
+		// just prepare for destruction, as cmd/coalesce does.
+		if !fold {
+			res.Err = fmt.Errorf("%s: %v rebuilds SSA without folding and cannot take SSA-form input", res.Name, cfg.Algo)
+			return res
+		}
+		f.SplitCriticalEdges()
+		st = &ssa.Stats{}
+	} else {
+		st = ssa.Build(f, ssa.Options{Flavor: cfg.Flavor, FoldCopies: fold, Scratch: sc.ssaScratch()})
+	}
+	m.Build = time.Since(t1)
+	m.PhisInserted = st.PhisInserted
+	m.CopiesFolded = st.CopiesFolded
+
+	t2 := time.Now()
+	switch cfg.Algo {
+	case Standard:
+		ds := ssa.DestructStandard(f)
+		m.CopiesInserted = ds.CopiesInserted
+	case New:
+		var cs *core.Stats
+		if sc != nil {
+			cs = core.CoalesceScratch(f, core.Options{Dom: st.Dom}, &sc.core)
+		} else {
+			cs = core.Coalesce(f, core.Options{Dom: st.Dom})
+		}
+		m.CopiesInserted = cs.CopiesInserted
+		m.CopiesCoalesced = cs.InitialUnions
+	case Briggs, BriggsStar:
+		ifgraph.JoinPhiWebs(f)
+		// JoinPhiWebs only renames; the CFG is unchanged since the SSA
+		// build, so its dominator tree serves the loop-depth query.
+		depth := st.Dom.FindLoops().Depth
+		gs := ifgraph.Coalesce(f, ifgraph.Options{Improved: cfg.Algo == BriggsStar, Depth: depth})
+		m.CopiesCoalesced = gs.CopiesCoalesced
+	default:
+		res.Err = fmt.Errorf("driver: unknown algorithm %v", cfg.Algo)
+		return res
+	}
+	m.Destruct = time.Since(t2)
+	m.StaticCopies = f.CountCopies()
+
+	if err := f.Verify(); err != nil {
+		res.Err = fmt.Errorf("%s: verify after %v: %w", res.Name, cfg.Algo, err)
+		return res
+	}
+	res.Func = f
+	return res
+}

@@ -1,0 +1,108 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FuncMetrics are the per-function measurements taken by a worker.
+type FuncMetrics struct {
+	Parse    time.Duration // source → IR
+	Build    time.Duration // SSA construction (incl. liveness, dominators)
+	Destruct time.Duration // SSA destruction (the paper's measured span)
+
+	PhisInserted    int
+	CopiesFolded    int
+	CopiesInserted  int // copies materialized by destruction
+	CopiesCoalesced int // copies eliminated (unions / graph coalesces)
+	StaticCopies    int // copy instructions in the final code
+}
+
+// Snapshot aggregates one batch run. Phase times are per-function spans
+// summed across workers — on an oversubscribed host a span includes time
+// the goroutine spent descheduled, so the sum can exceed wall time.
+// AllocBytes is the process-wide allocation delta over the batch, which
+// under concurrency is the only attribution the runtime offers.
+type Snapshot struct {
+	Algo      Algo
+	Workers   int
+	Functions int // jobs that compiled successfully
+	Errors    int
+
+	Wall        time.Duration
+	FuncsPerSec float64
+
+	Parse    time.Duration
+	Build    time.Duration
+	Destruct time.Duration
+
+	AllocBytes int64
+
+	PhisInserted    int64
+	CopiesFolded    int64
+	CopiesInserted  int64
+	CopiesCoalesced int64
+	StaticCopies    int64
+}
+
+// summarize folds per-job results into a Snapshot.
+func summarize(results []Result, algo Algo, workers int, wall time.Duration, alloc int64) *Snapshot {
+	s := &Snapshot{Algo: algo, Workers: workers, Wall: wall, AllocBytes: alloc}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			s.Errors++
+			continue
+		}
+		s.Functions++
+		m := &r.Metrics
+		s.Parse += m.Parse
+		s.Build += m.Build
+		s.Destruct += m.Destruct
+		s.PhisInserted += int64(m.PhisInserted)
+		s.CopiesFolded += int64(m.CopiesFolded)
+		s.CopiesInserted += int64(m.CopiesInserted)
+		s.CopiesCoalesced += int64(m.CopiesCoalesced)
+		s.StaticCopies += int64(m.StaticCopies)
+	}
+	if wall > 0 {
+		s.FuncsPerSec = float64(s.Functions) / wall.Seconds()
+	}
+	return s
+}
+
+// Table renders the snapshot as the paper-style text block the commands
+// print.
+func (s *Snapshot) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %-9s workers %-3d functions %d", s.Algo, s.Workers, s.Functions)
+	if s.Errors > 0 {
+		fmt.Fprintf(&b, " (%d errors)", s.Errors)
+	}
+	b.WriteByte('\n')
+	perFunc := int64(0)
+	if s.Functions > 0 {
+		perFunc = s.AllocBytes / int64(s.Functions)
+	}
+	fmt.Fprintf(&b, "  wall %-12v throughput %8.1f funcs/sec   alloc %s (%s/func)\n",
+		s.Wall.Round(time.Microsecond), s.FuncsPerSec,
+		fmtBytes(s.AllocBytes), fmtBytes(perFunc))
+	fmt.Fprintf(&b, "  cpu phases:    parse %-10v ssa-build %-10v destruct %v\n",
+		s.Parse.Round(time.Microsecond), s.Build.Round(time.Microsecond),
+		s.Destruct.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  copies:        phis %-6d folded %-6d coalesced %-6d inserted %-6d static %d\n",
+		s.PhisInserted, s.CopiesFolded, s.CopiesCoalesced, s.CopiesInserted, s.StaticCopies)
+	return b.String()
+}
+
+// fmtBytes prints a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

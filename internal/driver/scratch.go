@@ -1,0 +1,27 @@
+package driver
+
+import (
+	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/ssa"
+)
+
+// Scratch is one worker's reusable compilation memory: the SSA
+// construction scratch (liveness sets, dominator tree, φ worklists) and
+// the coalescer scratch (union-find forest, congruence classes, rewrite
+// buffers). A worker's second function of a given size allocates only a
+// small fraction of what the first did.
+//
+// A Scratch belongs to one goroutine. A nil *Scratch is valid and means
+// "no reuse": every compile allocates cold.
+type Scratch struct {
+	ssa  ssa.Scratch
+	core core.Scratch
+}
+
+// ssaScratch returns the ssa.Build scratch, or nil for a nil receiver.
+func (s *Scratch) ssaScratch() *ssa.Scratch {
+	if s == nil {
+		return nil
+	}
+	return &s.ssa
+}

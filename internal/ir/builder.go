@@ -87,6 +87,9 @@ func (bld *Builder) Ret(v VarID) {
 
 // Phi prepends d = φ(args...) to block b. Arguments align with b.Preds.
 func Phi(b *Block, d VarID, args []VarID) {
-	in := Instr{Op: OpPhi, Def: d, Args: args}
-	b.Instrs = append([]Instr{in}, b.Instrs...)
+	// Prepend by growing in place: φ insertion is hot enough in SSA
+	// construction that a fresh slice per φ would dominate allocation.
+	b.Instrs = append(b.Instrs, Instr{})
+	copy(b.Instrs[1:], b.Instrs)
+	b.Instrs[0] = Instr{Op: OpPhi, Def: d, Args: args}
 }

@@ -1,9 +1,14 @@
-package lang
-
-// The abstract syntax of the kernel language. A file holds one or more
+// Package lang implements the kernel language front end: a lexer,
+// recursive-descent parser, and lowering pass that turn source text into
+// ir.Funcs ready for SSA construction. A file holds one or more
 // functions; each function takes int scalars and []int arrays and returns
-// an int. This is deliberately the shape of the Fortran kernels in the
-// paper's test suite: loop nests over arrays with scalar reductions.
+// an int — deliberately the shape of the Fortran kernels in the paper's
+// test suite (loop nests over arrays with scalar reductions).
+//
+// The entry points are Compile (all functions in a file) and CompileOne
+// (exactly one). Both are pure functions of the source text, safe to call
+// concurrently — the batch driver parses on worker goroutines.
+package lang
 
 // File is a parsed source file.
 type File struct {

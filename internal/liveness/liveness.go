@@ -10,11 +10,18 @@
 //     other use in b or b's successors").
 //
 // The same code handles non-SSA programs (no φ-nodes present).
+//
+// Concurrency: an Info is immutable once returned and safe for concurrent
+// readers. A Scratch is a single-goroutine arena; ComputeScratch recycles
+// it, so the Info it returns (and every bit set inside) is valid only
+// until the next ComputeScratch call with the same Scratch. The batch
+// driver keeps one Scratch per worker.
 package liveness
 
 import (
 	"fastcoalesce/internal/bitset"
 	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/reuse"
 )
 
 // Info holds per-block live sets over VarIDs.
@@ -23,21 +30,43 @@ type Info struct {
 	Out []bitset.Set // Out[b]: live at block exit (incl. φ args flowing out of b)
 }
 
-// Compute runs the analysis to fixpoint.
+// Scratch holds the reusable state of one liveness computation: the live
+// sets themselves (arena-backed) and the traversal worklists. The zero
+// value is ready to use.
+type Scratch struct {
+	arena  bitset.Arena
+	info   Info
+	ueVar  []bitset.Set
+	defs   []bitset.Set
+	order  []ir.BlockID
+	state  []uint8
+	frames []dfsFrame
+}
+
+// Compute runs the analysis to fixpoint. The returned Info is freshly
+// allocated and owned by the caller.
 func Compute(f *ir.Func) *Info {
+	return ComputeScratch(f, &Scratch{})
+}
+
+// ComputeScratch runs the analysis to fixpoint, reusing sc's memory. The
+// returned Info aliases sc and is invalidated by the next ComputeScratch
+// call with the same Scratch.
+func ComputeScratch(f *ir.Func, sc *Scratch) *Info {
 	nb := len(f.Blocks)
 	nv := f.NumVars()
-	li := &Info{
-		In:  make([]bitset.Set, nb),
-		Out: make([]bitset.Set, nb),
-	}
-	ueVar := make([]bitset.Set, nb) // upward-exposed uses (excl. φ args)
-	defs := make([]bitset.Set, nb)  // vars defined in block (incl. φ defs)
+	sc.arena.Reset()
+	li := &sc.info
+	li.In = reuse.Slice(li.In, nb)
+	li.Out = reuse.Slice(li.Out, nb)
+	ueVar := reuse.Slice(sc.ueVar, nb) // upward-exposed uses (excl. φ args)
+	defs := reuse.Slice(sc.defs, nb)   // vars defined in block (incl. φ defs)
+	sc.ueVar, sc.defs = ueVar, defs
 	for i := 0; i < nb; i++ {
-		li.In[i] = bitset.New(nv)
-		li.Out[i] = bitset.New(nv)
-		ueVar[i] = bitset.New(nv)
-		defs[i] = bitset.New(nv)
+		li.In[i] = sc.arena.New(nv)
+		li.Out[i] = sc.arena.New(nv)
+		ueVar[i] = sc.arena.New(nv)
+		defs[i] = sc.arena.New(nv)
 	}
 
 	for _, b := range f.Blocks {
@@ -60,8 +89,8 @@ func Compute(f *ir.Func) *Info {
 	// Iterate to fixpoint, sweeping blocks in postorder (successors before
 	// predecessors), which converges in a couple of passes on reducible
 	// CFGs. Blocks unreachable from the entry keep empty sets.
-	order := postorder(f)
-	tmp := bitset.New(nv)
+	order := postorder(f, sc)
+	tmp := sc.arena.New(nv)
 	for changed := true; changed; {
 		changed = false
 		for _, bid := range order {
@@ -105,17 +134,18 @@ func Compute(f *ir.Func) *Info {
 	return li
 }
 
+type dfsFrame struct {
+	b ir.BlockID
+	i int
+}
+
 // postorder returns the blocks of f in a depth-first postorder from the
-// entry.
-func postorder(f *ir.Func) []ir.BlockID {
+// entry, reusing sc's traversal state.
+func postorder(f *ir.Func, sc *Scratch) []ir.BlockID {
 	n := len(f.Blocks)
-	out := make([]ir.BlockID, 0, n)
-	state := make([]uint8, n)
-	type frame struct {
-		b ir.BlockID
-		i int
-	}
-	stack := []frame{{f.Entry, 0}}
+	out := reuse.Slice(sc.order, n)[:0]
+	state := reuse.Zeroed(sc.state, n)
+	stack := append(sc.frames[:0], dfsFrame{f.Entry, 0})
 	state[f.Entry] = 1
 	for len(stack) > 0 {
 		fr := &stack[len(stack)-1]
@@ -125,13 +155,14 @@ func postorder(f *ir.Func) []ir.BlockID {
 			fr.i++
 			if state[s] == 0 {
 				state[s] = 1
-				stack = append(stack, frame{s, 0})
+				stack = append(stack, dfsFrame{s, 0})
 			}
 			continue
 		}
 		out = append(out, fr.b)
 		stack = stack[:len(stack)-1]
 	}
+	sc.order, sc.state, sc.frames = out, state, stack[:0]
 	return out
 }
 

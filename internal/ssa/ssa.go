@@ -15,16 +15,18 @@ import (
 	"fastcoalesce/internal/dom"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/liveness"
+	"fastcoalesce/internal/reuse"
 )
 
 // Flavor selects the φ-placement policy.
 type Flavor int
 
-// SSA flavors, in decreasing φ count.
+// SSA flavors. Pruned is the zero value so that a zero Options (and the
+// batch driver's zero Config) selects the paper's default.
 const (
-	Minimal    Flavor = iota // φ at every iterated-dominance-frontier node
+	Pruned     Flavor = iota // φ only where the variable is live-in (default)
 	SemiPruned               // φ only for names live across a block boundary
-	Pruned                   // φ only where the variable is live-in (default)
+	Minimal                  // φ at every iterated-dominance-frontier node
 )
 
 // String returns the flavor name.
@@ -49,6 +51,37 @@ type Options struct {
 	// destruction algorithms require split edges (lost-copy problem, §3.6),
 	// so this is only for tests and measurements of the split itself.
 	KeepCriticalEdges bool
+
+	// Scratch, when non-nil, supplies reusable construction memory. The
+	// resulting SSA form is identical; only allocation behavior differs.
+	Scratch *Scratch
+}
+
+// Scratch holds the reusable state of one Build: the liveness and
+// dominator scratch, dominance frontiers, def-site indexes, and the
+// φ-insertion/renaming worklists. A Scratch belongs to one goroutine; the
+// batch driver keeps one per worker. The zero value is ready to use.
+//
+// When Build runs with a Scratch, the returned Stats.Dom points into it
+// and is valid only until the next Build with the same Scratch.
+type Scratch struct {
+	live liveness.Scratch
+	dom  dom.Tree
+	df   [][]ir.BlockID
+	inDF []ir.BlockID
+
+	defBlocks [][]ir.BlockID
+	definedIn []ir.BlockID
+	globals   []bool
+	localDef  []ir.BlockID
+
+	hasPhi  []int32
+	inWork  []int32
+	phiOrig [][]ir.VarID
+	work    []ir.BlockID
+
+	stacks  [][]ir.VarID
+	counter []int
 }
 
 // Stats reports what construction did.
@@ -71,6 +104,10 @@ type Stats struct {
 // set (the restricted initialization the paper describes in §2).
 func Build(f *ir.Func, opt Options) *Stats {
 	st := &Stats{}
+	sc := opt.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	f.RemoveUnreachable()
 	if !opt.KeepCriticalEdges {
 		st.EdgesSplit = f.SplitCriticalEdges()
@@ -79,24 +116,30 @@ func Build(f *ir.Func, opt Options) *Stats {
 	// One liveness computation serves both strictness enforcement and
 	// pruned φ placement: the entry initializations only add definitions
 	// at the entry, which cannot extend any block's live-in set.
-	live := liveness.Compute(f)
+	live := liveness.ComputeScratch(f, &sc.live)
 	st.InitsInserted = enforceStrict(f, live)
 
-	dt := dom.New(f)
+	sc.dom.Recompute(f)
+	dt := &sc.dom
 	st.Dom = dt
-	df := dt.Frontiers()
+	sc.df, sc.inDF = dt.FrontiersInto(sc.df, sc.inDF)
+	df := sc.df
 
 	nv := f.NumVars()
 	nb := len(f.Blocks)
 
 	// Def sites and block-local def sets per variable.
-	defBlocks := make([][]ir.BlockID, nv)
-	definedIn := make([]ir.BlockID, nv) // last block seen defining v (dedupe)
+	defBlocks := reuse.Truncated(sc.defBlocks, nv)
+	sc.defBlocks = defBlocks
+	definedIn := reuse.Slice(sc.definedIn, nv) // last block seen defining v (dedupe)
+	sc.definedIn = definedIn
 	for i := range definedIn {
 		definedIn[i] = ir.NoBlock
 	}
-	globals := make([]bool, nv) // used in some block before any local def
-	localDef := make([]ir.BlockID, nv)
+	globals := reuse.Zeroed(sc.globals, nv) // used in some block before any local def
+	sc.globals = globals
+	localDef := reuse.Slice(sc.localDef, nv)
+	sc.localDef = localDef
 	for i := range localDef {
 		localDef[i] = ir.NoBlock
 	}
@@ -119,14 +162,17 @@ func Build(f *ir.Func, opt Options) *Stats {
 	}
 
 	// φ insertion with the standard worklist over dominance frontiers.
-	hasPhi := make([]int32, nb) // epoch marks, one pass per variable
-	inWork := make([]int32, nb)
+	hasPhi := reuse.Slice(sc.hasPhi, nb) // epoch marks, one pass per variable
+	sc.hasPhi = hasPhi
+	inWork := reuse.Slice(sc.inWork, nb)
+	sc.inWork = inWork
 	for i := range hasPhi {
 		hasPhi[i] = -1
 		inWork[i] = -1
 	}
-	phiOrig := make([][]ir.VarID, nb) // original variable of each φ, per block
-	var work []ir.BlockID
+	phiOrig := reuse.Truncated(sc.phiOrig, nb) // original variable of each φ, per block
+	sc.phiOrig = phiOrig
+	work := sc.work[:0]
 	for v := 0; v < nv; v++ {
 		if len(defBlocks[v]) == 0 {
 			continue
@@ -166,14 +212,18 @@ func Build(f *ir.Func, opt Options) *Stats {
 		}
 	}
 
+	sc.work = work[:0]
+
 	// Renaming via a dominator-tree walk with per-variable stacks.
+	sc.stacks = reuse.Truncated(sc.stacks, nv)
+	sc.counter = reuse.Zeroed(sc.counter, nv)
 	r := &renamer{
 		f:       f,
 		dt:      dt,
 		opt:     opt,
 		st:      st,
-		stacks:  make([][]ir.VarID, nv),
-		counter: make([]int, nv),
+		stacks:  sc.stacks,
+		counter: sc.counter,
 		phiOrig: phiOrig,
 		undefs:  make(map[ir.VarID]ir.VarID),
 	}

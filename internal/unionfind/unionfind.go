@@ -1,6 +1,13 @@
 // Package unionfind implements a disjoint-set forest with union by rank
 // and path compression, giving the O(α(n)) amortized bound the paper's
-// complexity analysis relies on (§3.7).
+// complexity analysis relies on (§3.7). It is the substrate of step 1 of
+// the coalescer (§3.1: φ resources are unioned into congruence classes)
+// and of the Briggs live-range identification baseline (§4).
+//
+// Concurrency: a UF is a single-goroutine structure (even Find mutates,
+// via path compression). Reset is the Scratch-reuse hook — a batch
+// worker keeps one UF and Resets it per function, so steady-state
+// compilation allocates no union-find state.
 package unionfind
 
 // UF is a disjoint-set forest over the integers [0, n).
@@ -12,15 +19,26 @@ type UF struct {
 
 // New returns a forest of n singleton sets.
 func New(n int) *UF {
-	u := &UF{
-		parent: make([]int32, n),
-		rank:   make([]int8, n),
-		sets:   n,
+	u := &UF{}
+	u.Reset(n)
+	return u
+}
+
+// Reset reinitializes u to n singleton sets, reusing its storage. A zero
+// UF is valid input.
+func (u *UF) Reset(n int) {
+	if cap(u.parent) >= n {
+		u.parent = u.parent[:n]
+		u.rank = u.rank[:n]
+	} else {
+		u.parent = make([]int32, n)
+		u.rank = make([]int8, n)
 	}
 	for i := range u.parent {
 		u.parent[i] = int32(i)
+		u.rank[i] = 0
 	}
-	return u
+	u.sets = n
 }
 
 // Len returns the size of the universe.
