@@ -17,6 +17,7 @@
 //	-dump-ssa print the SSA form before destruction
 //	-stats    print conversion statistics
 //	-run      comma-separated scalar args: execute before/after and compare
+//	-check    none | fast | full: audit the conversion with internal/analysis
 //	-batch    compile every .kl/.ir file under a directory concurrently
 //	-jobs     worker count for -batch (default: one per CPU)
 package main
@@ -30,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fastcoalesce/internal/analysis"
 	"fastcoalesce/internal/core"
 	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/ifgraph"
@@ -48,12 +50,18 @@ func main() {
 	stats := flag.Bool("stats", false, "print conversion statistics")
 	optimize := flag.Bool("opt", false, "run value numbering + DCE on the SSA form (new/standard only)")
 	runArgs := flag.String("run", "", "comma-separated scalar args to execute with")
+	checkName := flag.String("check", "none", "audit level: none | fast | full")
 	batch := flag.String("batch", "", "compile every .kl/.ir file under this directory through the batch driver")
 	jobs := flag.Int("jobs", 0, "worker count for -batch (0 = one per CPU)")
 	flag.Parse()
 
+	check, err := analysis.ParseLevel(*checkName)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *batch != "" {
-		if err := runBatch(*batch, *algo, *jobs, *stats); err != nil {
+		if err := runBatch(*batch, *algo, *jobs, *stats, check); err != nil {
 			fatal(err)
 		}
 		return
@@ -95,13 +103,13 @@ func main() {
 	}
 
 	for _, f := range funcs {
-		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs); err != nil {
+		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs, check); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string) error {
+func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string, check analysis.Level) error {
 	if dumpIn {
 		fmt.Printf("=== input %s ===\n%s\n", orig.Name, orig)
 	}
@@ -135,16 +143,26 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 		fmt.Printf("=== ssa %s (%v, fold=%v) ===\n%s\n", f.Name, fl, fold, f)
 	}
 
+	// The audit needs the SSA form as destruction saw it and the renaming
+	// the pipeline applied (see internal/driver for the batch equivalent).
+	var ssaSnap *ir.Func
+	if check != analysis.None {
+		ssaSnap = f.Clone()
+	}
+	var nameMap []ir.VarID
+
 	switch algo {
 	case "standard":
 		ds := ssa.DestructStandard(f)
+		// Standard never renames: the identity map (nil) is correct.
 		if stats {
 			fmt.Printf("%s: φs=%d folded=%d inserted=%d temps=%d\n",
 				f.Name, ssaStats.PhisInserted, ssaStats.CopiesFolded,
 				ds.CopiesInserted, ds.TempsCreated)
 		}
 	case "new":
-		cs := core.Coalesce(f, core.Options{})
+		cs := core.Coalesce(f, core.Options{RecordNameMap: check != analysis.None})
+		nameMap = cs.NameMap
 		if stats {
 			fmt.Printf("%s: φs=%d folded=%d unions=%d filters=%v forest-splits=%d local-splits=%d rounds=%d copies=%d classes=%d\n",
 				f.Name, ssaStats.PhisInserted, ssaStats.CopiesFolded,
@@ -152,11 +170,22 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 				cs.LocalSplits, cs.Rounds, cs.CopiesInserted, cs.Classes)
 		}
 	case "briggs", "briggs*":
-		ifgraph.JoinPhiWebs(f)
+		joinMap := ifgraph.JoinPhiWebs(f)
 		// JoinPhiWebs only renames; the CFG is unchanged since the SSA
 		// build, so the construction-time dominator tree still applies.
 		depth := ssaStats.Dom.FindLoops().Depth
-		cs := ifgraph.Coalesce(f, ifgraph.Options{Improved: algo == "briggs*", Depth: depth})
+		cs := ifgraph.Coalesce(f, ifgraph.Options{
+			Improved:      algo == "briggs*",
+			Depth:         depth,
+			RecordNameMap: check != analysis.None,
+		})
+		if check != analysis.None {
+			// Compose the two renamings: SSA name → φ-web rep → final name.
+			nameMap = joinMap
+			for v := range nameMap {
+				nameMap[v] = cs.NameMap[nameMap[v]]
+			}
+		}
 		if stats {
 			fmt.Printf("%s: φs=%d passes=%d coalesced=%d matrix-bytes=%d\n",
 				f.Name, ssaStats.PhisInserted, len(cs.Passes),
@@ -171,6 +200,23 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 	}
 	fmt.Printf("=== output %s (%s): %d static copies ===\n%s\n",
 		f.Name, algo, f.CountCopies(), f)
+
+	if check != analysis.None {
+		rep := analysis.RunAll(&analysis.Unit{
+			Algo:    algo,
+			SSA:     ssaSnap,
+			Out:     f,
+			NameMap: nameMap,
+		}, check)
+		if rep.Failed() || len(rep.Skipped) > 0 {
+			fmt.Printf("=== audit %s (%v) ===\n%s", f.Name, check, rep)
+		} else {
+			fmt.Printf("=== audit %s (%v): clean ===\n", f.Name, check)
+		}
+		if rep.Failed() {
+			return fmt.Errorf("%s: audit reported %d findings", f.Name, len(rep.Diags))
+		}
+	}
 
 	if runArgs != "" {
 		var args []int64
@@ -209,7 +255,7 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 // runBatch compiles every .kl/.ir file under dir through the concurrent
 // batch driver, prints one summary line per function in deterministic
 // (path) order, and finishes with the batch metrics table.
-func runBatch(dir, algoName string, workers int, stats bool) error {
+func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level) error {
 	algo, err := driver.ParseAlgo(algoName)
 	if err != nil {
 		return err
@@ -232,6 +278,11 @@ func runBatch(dir, algoName string, workers int, stats bool) error {
 		return fmt.Errorf("no .kl or .ir files under %s", dir)
 	}
 
+	// The Briggs pipelines rebuild SSA without copy folding and cannot
+	// take inputs that are already in SSA form, so φ-form .ir files are
+	// skipped (with a note) instead of surfacing as batch errors.
+	briggs := algo == driver.Briggs || algo == driver.BriggsStar
+
 	var batchJobs []driver.Job
 	for _, path := range paths {
 		src, err := os.ReadFile(path)
@@ -239,6 +290,16 @@ func runBatch(dir, algoName string, workers int, stats bool) error {
 			return err
 		}
 		if strings.HasSuffix(path, ".ir") {
+			if briggs {
+				f, err := ir.Parse(string(src))
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				if f.CountPhis() > 0 {
+					fmt.Printf("%-40s SKIP  φ-form input incompatible with %v\n", path, algo)
+					continue
+				}
+			}
 			batchJobs = append(batchJobs, driver.Job{Name: path, Src: string(src), IR: true})
 			continue
 		}
@@ -253,8 +314,8 @@ func runBatch(dir, algoName string, workers int, stats bool) error {
 		}
 	}
 
-	results, snap := driver.Run(batchJobs, driver.Config{Algo: algo, Workers: workers})
-	bad := 0
+	results, snap := driver.Run(batchJobs, driver.Config{Algo: algo, Workers: workers, Check: check})
+	bad, findings := 0, 0
 	for _, r := range results {
 		if r.Err != nil {
 			bad++
@@ -263,13 +324,18 @@ func runBatch(dir, algoName string, workers int, stats bool) error {
 		}
 		fmt.Printf("%-40s blocks %-4d copies %-4d φs-coalesced %d\n",
 			r.Name, r.Func.NumBlocks(), r.Metrics.StaticCopies, r.Metrics.CopiesCoalesced)
+		if r.Report != nil && r.Report.Failed() {
+			findings += len(r.Report.Diags)
+			fmt.Printf("%-40s AUDIT findings:\n%s", r.Name, r.Report)
+		}
 	}
 	if stats {
 		fmt.Println()
 		fmt.Print(snap.Table())
 	}
-	if bad > 0 {
-		return fmt.Errorf("%d of %d functions failed", bad, len(batchJobs))
+	if bad > 0 || findings > 0 {
+		return fmt.Errorf("%d of %d functions failed, %d audit findings",
+			bad, len(batchJobs), findings)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	experiments -repeat 9       # more timing repetitions
 //	experiments -scaling        # complexity scaling study only
 //	experiments -throughput     # batch-compilation throughput study
+//	experiments -audit          # checker-overhead study (internal/analysis)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"fastcoalesce/internal/analysis"
 	"fastcoalesce/internal/bench"
 	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/lang"
@@ -31,14 +33,23 @@ func main() {
 	ext := flag.Bool("ext", false, "run the optimizer-pipeline extension experiment instead")
 	alloc := flag.Int("alloc", 0, "run the register-allocation experiment with this many registers")
 	throughput := flag.Bool("throughput", false, "run the batch-compilation throughput study instead")
+	audit := flag.Bool("audit", false, "run the checker-overhead study instead")
+	checkName := flag.String("check", "none", "audit level for driver-based studies: none | fast | full")
 	flag.Parse()
+
+	level, err := analysis.ParseLevel(*checkName)
+	check(err)
 
 	if *scaling {
 		runScaling()
 		return
 	}
 	if *throughput {
-		runThroughput(*repeat)
+		runThroughput(*repeat, level)
+		return
+	}
+	if *audit {
+		runAudit(*repeat)
 		return
 	}
 	if *ext {
@@ -159,7 +170,7 @@ func runScaling() {
 // beyond runtime.NumCPU() exercise the pool's oversubscription behavior
 // but cannot add speedup; the speedup column is only meaningful up to the
 // core count, which the header reports.
-func runThroughput(repeat int) {
+func runThroughput(repeat int, level analysis.Level) {
 	// The compilation stream: the kernel suite plus generated functions,
 	// large enough that a batch takes a measurable time per worker count.
 	var jobs []driver.Job
@@ -173,6 +184,9 @@ func runThroughput(repeat int) {
 
 	ncpu := runtime.NumCPU()
 	fmt.Printf("Throughput study: %d functions per batch, New pipeline, best of %d\n", len(jobs), repeat)
+	if level != analysis.None {
+		fmt.Printf("(per-function audit enabled: -check %v)\n", level)
+	}
 	fmt.Printf("(host has %d CPU(s); speedup saturates at the core count)\n\n", ncpu)
 	fmt.Printf("%8s %14s %14s %10s\n", "workers", "wall", "funcs/sec", "speedup")
 
@@ -184,9 +198,12 @@ func runThroughput(repeat int) {
 	for _, workers := range ladder {
 		best := (*driver.Snapshot)(nil)
 		for rep := 0; rep < repeat; rep++ {
-			results, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: workers})
+			results, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: workers, Check: level})
 			for _, r := range results {
 				check(r.Err)
+				if r.Report != nil && r.Report.Failed() {
+					check(fmt.Errorf("%s: audit findings:\n%s", r.Name, r.Report))
+				}
 			}
 			if best == nil || snap.Wall < best.Wall {
 				best = snap
@@ -224,6 +241,57 @@ func runThroughput(repeat int) {
 	fmt.Println("\nBatch snapshot at the largest worker count:")
 	_, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: ladder[len(ladder)-1]})
 	fmt.Print(snap.Table())
+}
+
+// runAudit measures what the internal/analysis verification suite costs on
+// top of each pipeline: batch wall time unaudited, at the static level
+// (fast), and with translation validation (full). Workers is pinned to 1 so
+// the overhead is attributable to the checkers rather than scheduling.
+func runAudit(repeat int) {
+	var jobs []driver.Job
+	for _, w := range bench.Workloads() {
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		w := bench.Generate(seed, bench.GenConfig{Stmts: 120, MaxDepth: 4, Scalars: 3, Arrays: 2})
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
+	}
+
+	fmt.Printf("Checker-overhead study: %d functions per batch, workers=1, best of %d\n", len(jobs), repeat)
+	fmt.Println("(overhead = audited batch wall time / unaudited batch wall time)")
+	fmt.Println()
+	fmt.Printf("%10s %12s %12s %9s %12s %9s %9s\n",
+		"pipeline", "none", "fast", "fast-ovh", "full", "full-ovh", "findings")
+
+	levels := []analysis.Level{analysis.None, analysis.Fast, analysis.Full}
+	for _, algo := range driver.Algos {
+		walls := map[analysis.Level]time.Duration{}
+		var findings int64
+		for _, lvl := range levels {
+			var best time.Duration
+			for rep := 0; rep < repeat; rep++ {
+				results, snap := driver.Run(jobs, driver.Config{Algo: algo, Workers: 1, Check: lvl})
+				for _, r := range results {
+					check(r.Err)
+				}
+				if rep == 0 || snap.Wall < best {
+					best = snap.Wall
+				}
+				if lvl == analysis.Full {
+					findings = snap.CheckFindings
+				}
+			}
+			walls[lvl] = best
+		}
+		fmt.Printf("%10v %12v %12v %8.2fx %12v %8.2fx %9d\n",
+			algo,
+			walls[analysis.None].Round(time.Microsecond),
+			walls[analysis.Fast].Round(time.Microsecond),
+			float64(walls[analysis.Fast])/float64(walls[analysis.None]),
+			walls[analysis.Full].Round(time.Microsecond),
+			float64(walls[analysis.Full])/float64(walls[analysis.None]),
+			findings)
+	}
 }
 
 func check(err error) {

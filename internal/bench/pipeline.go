@@ -98,13 +98,21 @@ func CompileWorkload(w Workload) (*ir.Func, error) {
 	return lang.CompileOne(w.Src)
 }
 
-// Arrays materializes deterministic array inputs for a workload: contents
-// depend only on the workload name and index.
-func (w Workload) Arrays() [][]int64 {
+// ArraySeed is the deterministic seed (derived from the workload name)
+// behind Arrays — reported in failure diagnostics so a mismatch can be
+// reproduced without rerunning the whole suite.
+func (w Workload) ArraySeed() int64 {
 	var seed int64 = 1
 	for _, ch := range w.Name {
 		seed = seed*31 + int64(ch)
 	}
+	return seed
+}
+
+// Arrays materializes deterministic array inputs for a workload: contents
+// depend only on the workload name and index.
+func (w Workload) Arrays() [][]int64 {
+	seed := w.ArraySeed()
 	out := make([][]int64, len(w.ArrayLens))
 	for ai, n := range w.ArrayLens {
 		a := make([]int64, n)
@@ -133,7 +141,9 @@ func DynamicCopies(f *ir.Func, w Workload) (int64, error) {
 
 // CheckAgainstOriginal runs both the original and rewritten functions on
 // the workload inputs and verifies identical results — the correctness
-// oracle every experiment rests on.
+// oracle every experiment rests on. On mismatch the error pinpoints the
+// first diverging observation (return value or memory cell) and carries
+// the workload's input seed so the failure replays in isolation.
 func CheckAgainstOriginal(orig, rewritten *ir.Func, w Workload) error {
 	want, err := interp.Run(orig, w.Args, w.Arrays(), 500_000_000)
 	if err != nil {
@@ -144,8 +154,8 @@ func CheckAgainstOriginal(orig, rewritten *ir.Func, w Workload) error {
 		return fmt.Errorf("%s rewritten: %w", w.Name, err)
 	}
 	if !interp.SameResult(want, got) {
-		return fmt.Errorf("%s: rewritten code returns %d, original %d",
-			w.Name, got.Ret, want.Ret)
+		return fmt.Errorf("%s: rewritten code diverges (%s; args %v, array seed %d)",
+			w.Name, interp.ExplainMismatch(want, got), w.Args, w.ArraySeed())
 	}
 	return nil
 }

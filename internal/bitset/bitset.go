@@ -50,6 +50,13 @@ func (s Set) Or(t Set) bool {
 	return changed
 }
 
+// And sets s = s ∩ t. The sets must have the same capacity.
+func (s Set) And(t Set) {
+	for i, w := range t {
+		s[i] &= w
+	}
+}
+
 // AndNot sets s = s \ t.
 func (s Set) AndNot(t Set) {
 	for i, w := range t {
@@ -76,6 +83,26 @@ func (s Set) Count() int {
 		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// Equal reports whether s and t hold the same members. Sets of different
+// capacities are equal if the extra words of the longer one are zero.
+func (s Set) Equal(t Set) bool {
+	short, long := s, t
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Empty reports whether the set has no members.

@@ -128,3 +128,30 @@ func TestQuickOr(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEqual(t *testing.T) {
+	a, b := New(128), New(128)
+	for _, x := range []int{3, 64, 127} {
+		a.Add(x)
+		b.Add(x)
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("identical sets compare unequal")
+	}
+	b.Add(5)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("differing sets compare equal")
+	}
+	// Different capacities: equal when the tail is zero.
+	c := New(256)
+	c.Add(3)
+	c.Add(64)
+	c.Add(127)
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Fatal("padded equal sets compare unequal")
+	}
+	c.Add(200)
+	if a.Equal(c) || c.Equal(a) {
+		t.Fatal("tail member ignored")
+	}
+}

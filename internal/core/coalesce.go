@@ -72,6 +72,12 @@ type Options struct {
 	// and each split/cut performed — a debugging aid.
 	Trace func(string)
 
+	// RecordNameMap makes Coalesce publish the final SSA-name → output-name
+	// mapping in Stats.NameMap, so an external auditor (internal/analysis)
+	// can check every congruence class against an independently built
+	// interference graph.
+	RecordNameMap bool
+
 	// NodeSplit resolves an interference by removing one whole member
 	// from the class — the literal Figure 2 semantics ("insert copies
 	// for c"), which reinstates a copy for every φ link the victim had.
@@ -96,6 +102,13 @@ type Stats struct {
 	ClassMembers   int    // members across those classes
 	CopiesInserted int    // copies materialized in step 4 (incl. temps)
 	TempsCreated   int    // cycle/terminator temporaries
+
+	// NameMap, filled when Options.RecordNameMap is set, maps every
+	// SSA-form VarID present before rewriting to the name it carries in
+	// the output; two SSA names were placed in one congruence class iff
+	// they map to the same output name. Temporaries created during copy
+	// sequentialization are not included (they have no SSA-form ancestor).
+	NameMap []ir.VarID
 
 	// AnalysisTime covers the dominator and liveness computations the
 	// algorithm consumes (the paper assumes these exist, §3); AlgoTime is

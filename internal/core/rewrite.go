@@ -36,6 +36,12 @@ func (c *coalescer) rewrite() {
 		}
 	}
 
+	if c.opt.RecordNameMap {
+		// Snapshot before temporaries extend the name space: rep is the
+		// SSA-name → output-name map the auditors verify.
+		c.st.NameMap = append([]ir.VarID(nil), rep...)
+	}
+
 	// Stage the copies: one per φ argument whose class differs from the
 	// φ's class, destined for the end of the feeding predecessor.
 	waiting := reuse.Truncated(c.sc.waiting, len(f.Blocks))
@@ -88,4 +94,5 @@ func (c *coalescer) rewrite() {
 		ssa.InsertCopiesAtEnd(f, blk, copies, newTemp)
 		c.st.CopiesInserted += len(blk.Instrs) - before
 	}
+	f.IsSSA = false
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastcoalesce/internal/analysis"
 	"fastcoalesce/internal/core"
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/ir"
@@ -78,7 +79,7 @@ func ParseAlgo(s string) (Algo, error) {
 		return New, nil
 	case "briggs":
 		return Briggs, nil
-	case "briggs*":
+	case "briggs*", "briggs-star": // the alias spares shell quoting in scripts
 		return BriggsStar, nil
 	}
 	return 0, fmt.Errorf("unknown algorithm %q (want standard, new, briggs, or briggs*)", s)
@@ -101,6 +102,11 @@ type Result struct {
 	Func    *ir.Func // the rewritten, φ-free function (nil on error)
 	Err     error
 	Metrics FuncMetrics
+
+	// Report holds the audit findings when Config.Check is enabled (nil
+	// otherwise). A finding is not an Err: the pipeline produced output,
+	// but the checker disputes it — callers decide how hard to fail.
+	Report *analysis.Report
 }
 
 // Config configures a batch run. The zero value compiles with the
@@ -113,6 +119,12 @@ type Config struct {
 	// NoScratch disables per-worker Scratch reuse, making every function
 	// allocate cold — the baseline for the allocation experiments.
 	NoScratch bool
+
+	// Check audits every job with internal/analysis at the given level.
+	// The SSA form is snapshotted before destruction, the pipeline records
+	// its name map, and the audit result lands in Result.Report and the
+	// Snapshot's check counters.
+	Check analysis.Level
 }
 
 // Run compiles every job with cfg's pipeline across a worker pool and
@@ -201,27 +213,50 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 	m.PhisInserted = st.PhisInserted
 	m.CopiesFolded = st.CopiesFolded
 
+	// The audit needs the SSA form as destruction saw it, and the name
+	// map the pipeline applied. Snapshotting is deliberately outside the
+	// timed Destruct span.
+	var ssaSnap *ir.Func
+	if cfg.Check != analysis.None {
+		ssaSnap = f.Clone()
+	}
+	var nameMap []ir.VarID
+
 	t2 := time.Now()
 	switch cfg.Algo {
 	case Standard:
 		ds := ssa.DestructStandard(f)
 		m.CopiesInserted = ds.CopiesInserted
+		// Standard never renames: the identity map (nil) is correct.
 	case New:
+		opt := core.Options{Dom: st.Dom, RecordNameMap: cfg.Check != analysis.None}
 		var cs *core.Stats
 		if sc != nil {
-			cs = core.CoalesceScratch(f, core.Options{Dom: st.Dom}, &sc.core)
+			cs = core.CoalesceScratch(f, opt, &sc.core)
 		} else {
-			cs = core.Coalesce(f, core.Options{Dom: st.Dom})
+			cs = core.Coalesce(f, opt)
 		}
 		m.CopiesInserted = cs.CopiesInserted
 		m.CopiesCoalesced = cs.InitialUnions
+		nameMap = cs.NameMap
 	case Briggs, BriggsStar:
-		ifgraph.JoinPhiWebs(f)
+		joinMap := ifgraph.JoinPhiWebs(f)
 		// JoinPhiWebs only renames; the CFG is unchanged since the SSA
 		// build, so its dominator tree serves the loop-depth query.
 		depth := st.Dom.FindLoops().Depth
-		gs := ifgraph.Coalesce(f, ifgraph.Options{Improved: cfg.Algo == BriggsStar, Depth: depth})
+		gs := ifgraph.Coalesce(f, ifgraph.Options{
+			Improved:      cfg.Algo == BriggsStar,
+			Depth:         depth,
+			RecordNameMap: cfg.Check != analysis.None,
+		})
 		m.CopiesCoalesced = gs.CopiesCoalesced
+		if cfg.Check != analysis.None {
+			// Compose the two renamings: SSA name → φ-web rep → final name.
+			nameMap = joinMap
+			for v := range nameMap {
+				nameMap[v] = gs.NameMap[nameMap[v]]
+			}
+		}
 	default:
 		res.Err = fmt.Errorf("driver: unknown algorithm %v", cfg.Algo)
 		return res
@@ -234,5 +269,18 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 		return res
 	}
 	res.Func = f
+
+	if cfg.Check != analysis.None {
+		t3 := time.Now()
+		unit := &analysis.Unit{
+			Algo:    cfg.Algo.String(),
+			SSA:     ssaSnap,
+			Out:     f,
+			NameMap: nameMap,
+		}
+		res.Report = analysis.RunAll(unit, cfg.Check)
+		m.Check = time.Since(t3)
+		m.CheckFindings = len(res.Report.Diags)
+	}
 	return res
 }

@@ -11,12 +11,14 @@ type FuncMetrics struct {
 	Parse    time.Duration // source → IR
 	Build    time.Duration // SSA construction (incl. liveness, dominators)
 	Destruct time.Duration // SSA destruction (the paper's measured span)
+	Check    time.Duration // analysis audit (zero when Config.Check is None)
 
 	PhisInserted    int
 	CopiesFolded    int
 	CopiesInserted  int // copies materialized by destruction
 	CopiesCoalesced int // copies eliminated (unions / graph coalesces)
 	StaticCopies    int // copy instructions in the final code
+	CheckFindings   int // diagnostics reported by the audit
 }
 
 // Snapshot aggregates one batch run. Phase times are per-function spans
@@ -36,6 +38,10 @@ type Snapshot struct {
 	Parse    time.Duration
 	Build    time.Duration
 	Destruct time.Duration
+	Check    time.Duration
+
+	Checked       int64 // jobs that ran the audit
+	CheckFindings int64 // diagnostics across those jobs
 
 	AllocBytes int64
 
@@ -51,6 +57,14 @@ func summarize(results []Result, algo Algo, workers int, wall time.Duration, all
 	s := &Snapshot{Algo: algo, Workers: workers, Wall: wall, AllocBytes: alloc}
 	for i := range results {
 		r := &results[i]
+		// Audit accounting happens before the error skip: a job whose
+		// checker ran still contributes its findings even if a later
+		// stage errored.
+		if r.Report != nil {
+			s.Checked++
+			s.Check += r.Metrics.Check
+			s.CheckFindings += int64(r.Metrics.CheckFindings)
+		}
 		if r.Err != nil {
 			s.Errors++
 			continue
@@ -93,6 +107,10 @@ func (s *Snapshot) Table() string {
 		s.Destruct.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  copies:        phis %-6d folded %-6d coalesced %-6d inserted %-6d static %d\n",
 		s.PhisInserted, s.CopiesFolded, s.CopiesCoalesced, s.CopiesInserted, s.StaticCopies)
+	if s.Checked > 0 {
+		fmt.Fprintf(&b, "  checks:        audited %-6d findings %-6d time %v\n",
+			s.Checked, s.CheckFindings, s.Check.Round(time.Microsecond))
+	}
 	return b.String()
 }
 

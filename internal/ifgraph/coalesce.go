@@ -15,7 +15,10 @@ import (
 // SSA construction did NOT fold copies — then φ-connected names never
 // interfere (§3: "the initial union-find sets would contain only values
 // that do not interfere") and no copies need to be inserted.
-func JoinPhiWebs(f *ir.Func) {
+//
+// The returned slice maps every pre-join VarID to its web representative;
+// internal/analysis audits it against an independent interference graph.
+func JoinPhiWebs(f *ir.Func) []ir.VarID {
 	uf := unionfind.New(f.NumVars())
 	for _, b := range f.Blocks {
 		for i := 0; i < b.NumPhis(); i++ {
@@ -49,6 +52,8 @@ func JoinPhiWebs(f *ir.Func) {
 		}
 		b.Instrs = out
 	}
+	f.IsSSA = false
+	return rep
 }
 
 // PassStats records one build/coalesce iteration.
@@ -64,6 +69,11 @@ type PassStats struct {
 type CoalesceStats struct {
 	Passes          []PassStats
 	CopiesCoalesced int
+
+	// NameMap, filled when Options.RecordNameMap is set, maps every input
+	// VarID to the name it carries after all passes (the composition of
+	// every pass's union-find).
+	NameMap []ir.VarID
 }
 
 // TotalMatrixBytes sums the matrix allocations over all passes — the
@@ -101,6 +111,10 @@ type Options struct {
 
 	// MaxPasses bounds the loop as a safety net (0 means no bound).
 	MaxPasses int
+
+	// RecordNameMap makes Coalesce publish the cumulative input-name →
+	// output-name mapping in CoalesceStats.NameMap for external auditing.
+	RecordNameMap bool
 }
 
 // Coalesce runs the Chaitin/Briggs build/coalesce loop on φ-free code:
@@ -110,8 +124,15 @@ type Options struct {
 // pass coalesces nothing. It returns per-pass statistics.
 func Coalesce(f *ir.Func, opt Options) *CoalesceStats {
 	cs := &CoalesceStats{}
+	var cum []ir.VarID
+	if opt.RecordNameMap {
+		cum = make([]ir.VarID, f.NumVars())
+		for v := range cum {
+			cum[v] = ir.VarID(v)
+		}
+	}
 	for {
-		ps, changed := coalescePass(f, opt)
+		ps, changed := coalescePass(f, opt, cum)
 		cs.Passes = append(cs.Passes, ps)
 		cs.CopiesCoalesced += ps.Coalesced
 		if !changed {
@@ -121,6 +142,7 @@ func Coalesce(f *ir.Func, opt Options) *CoalesceStats {
 			break
 		}
 	}
+	cs.NameMap = cum
 	return cs
 }
 
@@ -130,7 +152,10 @@ type copySite struct {
 	depth int32
 }
 
-func coalescePass(f *ir.Func, opt Options) (PassStats, bool) {
+// coalescePass runs one build/coalesce iteration. When cum is non-nil it is
+// updated in place: each entry is advanced through this pass's union-find,
+// composing the cross-pass name mapping.
+func coalescePass(f *ir.Func, opt Options, cum []ir.VarID) (PassStats, bool) {
 	ps := PassStats{}
 	nv := f.NumVars()
 
@@ -228,6 +253,11 @@ func coalescePass(f *ir.Func, opt Options) (PassStats, bool) {
 			out = append(out, in)
 		}
 		b.Instrs = out
+	}
+	if cum != nil {
+		for v := range cum {
+			cum[v] = ir.VarID(uf.Find(int(cum[v])))
+		}
 	}
 	return ps, true
 }

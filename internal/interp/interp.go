@@ -246,3 +246,29 @@ func SameResult(a, b *Result) bool {
 	}
 	return true
 }
+
+// ExplainMismatch describes the first divergence between two results: the
+// return value, a parameter-array shape difference, or the first differing
+// memory cell. It returns "" when the results agree per SameResult.
+func ExplainMismatch(want, got *Result) string {
+	if want.Ret != got.Ret {
+		return fmt.Sprintf("return value: want %d, got %d", want.Ret, got.Ret)
+	}
+	if len(want.ParamArrays) != len(got.ParamArrays) {
+		return fmt.Sprintf("array parameter count: want %d, got %d",
+			len(want.ParamArrays), len(got.ParamArrays))
+	}
+	for i := range want.ParamArrays {
+		w, g := want.ParamArrays[i], got.ParamArrays[i]
+		if len(w) != len(g) {
+			return fmt.Sprintf("array param %d length: want %d, got %d", i, len(w), len(g))
+		}
+		for j := range w {
+			if w[j] != g[j] {
+				return fmt.Sprintf("array param %d cell [%d]: want %d, got %d",
+					i, j, w[j], g[j])
+			}
+		}
+	}
+	return ""
+}

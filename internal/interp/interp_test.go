@@ -2,6 +2,7 @@ package interp
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"fastcoalesce/internal/ir"
@@ -310,5 +311,23 @@ func TestRunRejectsMissingArgs(t *testing.T) {
 	f := buildCountdown(t)
 	if _, err := Run(f, nil, nil, 100); err == nil {
 		t.Fatal("missing scalar arg accepted")
+	}
+}
+
+func TestExplainMismatch(t *testing.T) {
+	a := &Result{Ret: 1, ParamArrays: [][]int64{{1, 2, 3}}}
+	b := &Result{Ret: 1, ParamArrays: [][]int64{{1, 2, 3}}}
+	if s := ExplainMismatch(a, b); s != "" {
+		t.Fatalf("equal results explained as %q", s)
+	}
+	b.Ret = 2
+	if s := ExplainMismatch(a, b); !strings.Contains(s, "return value") {
+		t.Fatalf("missing return-value explanation: %q", s)
+	}
+	b.Ret = 1
+	b.ParamArrays[0][1] = 9
+	s := ExplainMismatch(a, b)
+	if !strings.Contains(s, "cell [1]") || !strings.Contains(s, "want 2, got 9") {
+		t.Fatalf("missing cell explanation: %q", s)
 	}
 }

@@ -188,6 +188,13 @@ type Func struct {
 
 	Params    []VarID // scalar parameters, defined by OpParam in entry order
 	ArrParams []ArrID // array parameters
+
+	// IsSSA marks the function as being in SSA form. ssa.Build sets it,
+	// the destruction passes clear it, and Parse infers it from the
+	// presence of φ-nodes. Verify applies stricter rules to SSA-flagged
+	// functions (no duplicate CFG edges, single definition per name within
+	// a block).
+	IsSSA bool
 }
 
 // NewFunc returns an empty function with a fresh entry block.
@@ -290,6 +297,7 @@ func (f *Func) Clone() *Func {
 	g := &Func{
 		Name:      f.Name,
 		Entry:     f.Entry,
+		IsSSA:     f.IsSSA,
 		VarNames:  append([]string(nil), f.VarNames...),
 		ArrNames:  append([]string(nil), f.ArrNames...),
 		ArrLens:   append([]int(nil), f.ArrLens...),

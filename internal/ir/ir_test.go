@@ -77,6 +77,64 @@ func TestVerifyCatchesPhiAfterBody(t *testing.T) {
 	}
 }
 
+func TestVerifySSADuplicateEdge(t *testing.T) {
+	// Both branch targets the same block: legal in plain IR, rejected
+	// once the function is flagged as SSA.
+	f := NewFunc("dup")
+	c := f.NewVar("c")
+	bld := NewBuilder(f)
+	b1 := bld.NewBlock()
+	bld.Const(c, 1)
+	bld.Br(c, b1, b1)
+	bld.SetBlock(b1)
+	bld.Ret(c)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("plain IR with duplicate edge rejected: %v", err)
+	}
+	f.IsSSA = true
+	err := f.Verify()
+	if err == nil {
+		t.Fatal("SSA Verify accepted duplicate edge")
+	}
+	if !strings.Contains(err.Error(), "duplicate edge") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestVerifySSADuplicateDef(t *testing.T) {
+	f, _, _, _ := buildDiamond(t) // b0 defines x then c, both once
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	f.IsSSA = true
+	if err := f.Verify(); err != nil {
+		t.Fatalf("SSA Verify rejected single-def function: %v", err)
+	}
+	// Redefine x inside b0.
+	b0 := f.Blocks[0]
+	x := b0.Instrs[0].Def
+	b0.Instrs = append([]Instr{{Op: OpConst, Def: x, Const: 7}}, b0.Instrs...)
+	err := f.Verify()
+	if err == nil {
+		t.Fatal("SSA Verify accepted block defining a name twice")
+	}
+	if !strings.Contains(err.Error(), "defines x twice") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	f.IsSSA = false
+	if err := f.Verify(); err != nil {
+		t.Fatalf("plain IR with redefinition rejected: %v", err)
+	}
+}
+
+func TestCloneCopiesIsSSA(t *testing.T) {
+	f, _, _, _ := buildDiamond(t)
+	f.IsSSA = true
+	if !f.Clone().IsSSA {
+		t.Fatal("Clone dropped IsSSA")
+	}
+}
+
 func TestRemoveUnreachable(t *testing.T) {
 	f, _, _, _ := buildDiamond(t)
 	dead := f.NewBlock()

@@ -195,6 +195,11 @@ func (p *irParser) parse(src string) (*Func, error) {
 		}
 	}
 
+	// A hand-written .ir file with φ-nodes is declaring itself to be in SSA
+	// form; hold it to the stricter SSA verification rules.
+	if p.f.CountPhis() > 0 {
+		p.f.IsSSA = true
+	}
 	if err := p.f.Verify(); err != nil {
 		return nil, fmt.Errorf("ir: parsed function invalid: %w", err)
 	}
@@ -304,6 +309,9 @@ func (p *irParser) parseInstr(line string, cur *Block) (Instr, []BlockID, error)
 	}
 
 	rf := strings.Fields(strings.ReplaceAll(rhs, ",", " "))
+	if len(rf) == 0 {
+		return Instr{}, nil, p.errf("missing right-hand side %q", line)
+	}
 	if len(rf) == 1 {
 		// Copy: x = y
 		return Instr{Op: OpCopy, Def: def, Args: []VarID{p.v(rf[0])}}, nil, nil

@@ -2,9 +2,22 @@ package ir
 
 import "fmt"
 
+// opArity fixes the operand count of every opcode with a static arity
+// (φ arity is the predecessor count, checked separately).
+var opArity = map[Op]int{
+	OpConst: 0, OpCopy: 1, OpParam: 0,
+	OpAdd: 2, OpSub: 2, OpMul: 2, OpDiv: 2, OpRem: 2,
+	OpNeg: 1, OpNot: 1,
+	OpCmpEQ: 2, OpCmpNE: 2, OpCmpLT: 2, OpCmpLE: 2, OpCmpGT: 2, OpCmpGE: 2,
+	OpALoad: 1, OpAStore: 2, OpALen: 0,
+	OpJmp: 0, OpBr: 1, OpRet: 1,
+}
+
 // Verify checks structural well-formedness of the function: edge symmetry,
-// terminator placement, φ placement and arity, and operand validity. It
-// returns the first violation found, or nil.
+// terminator placement, φ placement and arity, and operand validity. When
+// the function is flagged as SSA (IsSSA), it additionally rejects duplicate
+// CFG edges and multiple definitions of the same name within one block.
+// It returns the first violation found, or nil.
 func (f *Func) Verify() error {
 	if int(f.Entry) >= len(f.Blocks) || f.Entry < 0 {
 		return fmt.Errorf("%s: bad entry block b%d", f.Name, f.Entry)
@@ -46,6 +59,33 @@ func (f *Func) verifyBlock(b *Block) error {
 		}
 		if !found {
 			return fmt.Errorf("%s: edge b%d->b%d missing from succs", f.Name, p, b.ID)
+		}
+	}
+
+	if f.IsSSA {
+		// Duplicate edges are legal in general IR (interp disambiguates φ
+		// reads by edge ordinal), but SSA form here always follows
+		// critical-edge splitting, after which a duplicated edge cannot
+		// survive: one copy of the pair would be critical.
+		for i, s := range b.Succs {
+			for _, t := range b.Succs[:i] {
+				if s == t {
+					return fmt.Errorf("%s: SSA function has duplicate edge b%d->b%d",
+						f.Name, b.ID, s)
+				}
+			}
+		}
+		seen := make(map[VarID]int, len(b.Instrs))
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if !in.Op.HasDef() || in.Def == NoVar {
+				continue
+			}
+			if j, dup := seen[in.Def]; dup {
+				return fmt.Errorf("%s: SSA block b%d defines %s twice (b%d.%d and b%d.%d)",
+					f.Name, b.ID, f.VarName(in.Def), b.ID, j, b.ID, i)
+			}
+			seen[in.Def] = i
 		}
 	}
 
@@ -94,10 +134,19 @@ func (f *Func) verifyBlock(b *Block) error {
 				return fmt.Errorf("%s: b%d.%d %s has bad arg %d", f.Name, b.ID, i, in.Op, a)
 			}
 		}
+		if want, fixed := opArity[in.Op]; fixed && len(in.Args) != want {
+			return fmt.Errorf("%s: b%d.%d %s has %d args, want %d",
+				f.Name, b.ID, i, in.Op, len(in.Args), want)
+		}
 		switch in.Op {
 		case OpALoad, OpAStore, OpALen:
 			if in.Arr == NoArr || int(in.Arr) >= len(f.ArrNames) {
 				return fmt.Errorf("%s: b%d.%d %s has bad array %d", f.Name, b.ID, i, in.Op, in.Arr)
+			}
+		case OpParam:
+			if in.Const < 0 || int(in.Const) >= len(f.Params) {
+				return fmt.Errorf("%s: b%d.%d param index %d out of range (%d params)",
+					f.Name, b.ID, i, in.Const, len(f.Params))
 			}
 		}
 	}

@@ -44,5 +44,6 @@ func DestructStandard(f *ir.Func) *DestructStats {
 		InsertCopiesAtEnd(f, f.Blocks[bi], copies, newTemp)
 		st.CopiesInserted += len(f.Blocks[bi].Instrs) - before
 	}
+	f.IsSSA = false
 	return st
 }

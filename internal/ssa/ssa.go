@@ -230,6 +230,7 @@ func Build(f *ir.Func, opt Options) *Stats {
 	r.renameBlock(f.Entry)
 	compactDeleted(f)
 	st.SSAVars = f.NumVars()
+	f.IsSSA = true
 	return st
 }
 
