@@ -11,6 +11,8 @@
 //	experiments -scaling        # complexity scaling study only
 //	experiments -throughput     # batch-compilation throughput study
 //	experiments -audit          # checker-overhead study (internal/analysis)
+//	experiments -benchjson -o BENCH_3.json   # machine-readable perf baseline
+//	experiments -cpuprofile cpu.out -table 2 # pprof any study
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fastcoalesce/internal/analysis"
@@ -35,11 +38,39 @@ func main() {
 	throughput := flag.Bool("throughput", false, "run the batch-compilation throughput study instead")
 	audit := flag.Bool("audit", false, "run the checker-overhead study instead")
 	checkName := flag.String("check", "none", "audit level for driver-based studies: none | fast | full")
+	benchjson := flag.Bool("benchjson", false, "emit the machine-readable perf baseline (BENCH_*.json) instead")
+	label := flag.String("label", "BENCH_3", "baseline label recorded in the -benchjson report")
+	out := flag.String("o", "", "write -benchjson output to this file (default stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	level, err := analysis.ParseLevel(*checkName)
 	check(err)
 
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(pf))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(pf.Close())
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			pf, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(pf))
+			check(pf.Close())
+		}()
+	}
+
+	if *benchjson {
+		runBenchJSON(*label, *repeat, *out)
+		return
+	}
 	if *scaling {
 		runScaling()
 		return
@@ -292,6 +323,25 @@ func runAudit(repeat int) {
 			float64(walls[analysis.Full])/float64(walls[analysis.None]),
 			findings)
 	}
+}
+
+// runBenchJSON regenerates the committed performance baseline: the
+// workload suite cold under all four pipelines and warm under New, the
+// hot-path micro measurements, and the scaling study, as one JSON
+// document. Committing the output (BENCH_<pr>.json) gives the repo a
+// perf trajectory reviewable across PRs; see EXPERIMENTS.md
+// "Performance baseline".
+func runBenchJSON(label string, repeat int, out string) {
+	rep, err := bench.RunBenchJSON(label, repeat)
+	check(err)
+	data, err := rep.MarshalIndent()
+	check(err)
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(out, data, 0o644)
+	}
+	check(err)
 }
 
 func check(err error) {

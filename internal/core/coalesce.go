@@ -31,7 +31,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"fastcoalesce/internal/dom"
@@ -120,15 +120,24 @@ type Stats struct {
 // Scratch holds the reusable state of one Coalesce run: the liveness and
 // dominator scratch, the union-find forest, the per-variable indexes, and
 // the class/rewrite buffers. A warm Scratch makes the steady-state
-// conversion of same-sized functions allocate close to nothing.
+// conversion of same-sized functions allocation-free (copy
+// materialization aside) — the per-call maps the coalescer once kept are
+// all dense generation-stamped slices here, so "clearing" between runs
+// is a counter increment, not a sweep (see ARCHITECTURE.md, "The
+// epoch-stamped scratch idiom").
 //
 // A Scratch belongs to one goroutine; the batch driver keeps one per
-// worker. The zero value is ready to use.
+// worker. The zero value is ready to use. A Scratch must not be copied
+// after first use, and the Stats returned by CoalesceScratch aliases it.
 type Scratch struct {
 	live   liveness.Scratch
 	dom    dom.Tree
+	freq   dom.FreqScratch
 	uf     unionfind.UF
 	forest domforest.Forest
+
+	co coalescer // the per-run pass state itself, embedded to avoid a per-run allocation
+	st Stats
 
 	defBlock []ir.BlockID
 	defIdx   []int32
@@ -141,13 +150,56 @@ type Scratch struct {
 	weight   []float64
 	dirty    []bool
 
-	claimed  map[ir.VarID]int32              // step-1 per-block claim table
-	blocks   map[int]map[ir.BlockID]ir.VarID // def-block occupancy, keyed by UF root
-	freeMaps []map[ir.BlockID]ir.VarID       // recycled occupancy maps
-	order    []int                           // step-1 φ-arg sort order
-	stack    []int                           // forest-walk DFS stack
-	rep      []ir.VarID                      // step-4 representative names
-	waiting  [][]ssa.Copy                    // step-4 staged copies per block
+	// Step 1: the per-block claim table (check 4) as generation-stamped
+	// per-variable slots, and the def-block occupancy of every union-find
+	// root (check 5) as plain block lists with a stamped intersection
+	// probe. occ[root] empty means the singleton {defBlock[root]}.
+	claimedBy  []int32
+	claimedGen []uint32
+	claimGen   uint32
+	occ        [][]ir.BlockID
+	blockMark  []uint32
+	blockGen   uint32
+	order      []int // step-1 φ-arg sort order
+
+	// materializeClasses: per-root class size and class index.
+	classSize   []int32
+	classByRoot []int32
+
+	// Steps 2/3: forest-walk DFS stack, the round's local-check pairs,
+	// per-block pair buckets, and the last-use table as stamped slots.
+	stack      []int
+	pairs      []pair
+	lpByBlock  [][]pair
+	lpOrder    []ir.BlockID
+	lastUse    []int32
+	lastUseGen []uint32
+	lastGen    uint32
+
+	// cutLinks: the class's φ-link multigraph (links plus half-edge
+	// adjacency in append order), Edmonds-Karp residuals, the stamped BFS
+	// parent table, the BFS queue, and the split-off member buffer.
+	links    []classLink
+	halfNext []int32
+	adjHead  []int32
+	adjTail  []int32
+	adjGen   []uint32
+	adjCur   uint32
+	capUV    []float64
+	capVU    []float64
+	via      []int32
+	viaGen   []uint32
+	cutGen   uint32
+	bfsQueue []ir.VarID
+	movedBuf []ir.VarID
+
+	rep     []ir.VarID   // step-4 representative names
+	waiting [][]ssa.Copy // step-4 staged copies per block
+
+	// Closures created once per Scratch (they capture only &co, which is
+	// stable), so the per-run hot paths never allocate a closure object.
+	phiCmp func(x, y int) int
+	tempFn func() ir.VarID
 }
 
 // Coalesce converts f out of SSA form in place, coalescing φ-induced
@@ -197,16 +249,17 @@ type coalescer struct {
 	argUses  [][]int32 // var -> φs (indices into phis) using it as an argument
 
 	uf      *unionfind.UF
-	blocks  map[int]map[ir.BlockID]ir.VarID // UF root -> def-block occupancy
-	classOf []int32                         // var -> class index, or -1 for singletons
-	members [][]ir.VarID                    // class index -> members
+	classOf []int32      // var -> class index, or -1 for singletons
+	members [][]ir.VarID // class index -> members
 
-	weight []float64 // per block: estimated execution frequency
-	dirty  []bool    // per class: needs (re-)walking this round
+	weight    []float64    // per block: estimated execution frequency
+	dirty     []bool       // per class: needs (re-)walking this round
+	sortPreds []ir.BlockID // predecessor list of the φ-block being sorted
 }
 
 func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 	nv := f.NumVars()
+	nb := len(f.Blocks)
 	dt := opt.Dom
 	if dt == nil {
 		sc.dom.Recompute(f)
@@ -219,21 +272,26 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 	sc.argUses = reuse.Truncated(sc.argUses, nv)
 	sc.classOf = reuse.Slice(sc.classOf, nv)
 	sc.uf.Reset(nv)
-	if sc.claimed == nil {
-		sc.claimed = make(map[ir.VarID]int32)
-	}
-	if sc.blocks == nil {
-		sc.blocks = make(map[int]map[ir.BlockID]ir.VarID)
-	} else {
-		for _, m := range sc.blocks {
-			sc.freeMaps = append(sc.freeMaps, m)
-		}
-		clear(sc.blocks)
-	}
-	c := &coalescer{
+	// The generation-stamped tables need no clearing: a stale stamp was
+	// written under a smaller generation and can never equal the current
+	// one (growth zeroes fresh capacity; wraparound wipes the array).
+	sc.claimedBy = reuse.Slice(sc.claimedBy, nv)
+	sc.claimedGen = reuse.Slice(sc.claimedGen, nv)
+	sc.occ = reuse.Truncated(sc.occ, nv)
+	sc.blockMark = reuse.Slice(sc.blockMark, nb)
+	sc.lastUse = reuse.Slice(sc.lastUse, nv)
+	sc.lastUseGen = reuse.Slice(sc.lastUseGen, nv)
+	sc.adjHead = reuse.Slice(sc.adjHead, nv)
+	sc.adjTail = reuse.Slice(sc.adjTail, nv)
+	sc.adjGen = reuse.Slice(sc.adjGen, nv)
+	sc.via = reuse.Slice(sc.via, nv)
+	sc.viaGen = reuse.Slice(sc.viaGen, nv)
+	sc.st = Stats{}
+	c := &sc.co
+	*c = coalescer{
 		f:        f,
 		opt:      opt,
-		st:       &Stats{},
+		st:       &sc.st,
 		sc:       sc,
 		dt:       dt,
 		live:     liveness.ComputeScratch(f, &sc.live),
@@ -244,7 +302,6 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 		phiOfDef: sc.phiOfDef,
 		argUses:  sc.argUses,
 		uf:       &sc.uf,
-		blocks:   sc.blocks,
 		classOf:  sc.classOf,
 		members:  sc.members[:0],
 		dirty:    sc.dirty,
@@ -255,13 +312,13 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 		c.classOf[i] = -1
 	}
 	if opt.NoDepthWeight {
-		sc.weight = reuse.Slice(sc.weight, len(f.Blocks))
+		sc.weight = reuse.Slice(sc.weight, nb)
 		c.weight = sc.weight
 		for i := range c.weight {
 			c.weight[i] = 1
 		}
 	} else {
-		c.weight = c.dt.EstimateFrequencies(c.dt.FindLoops())
+		c.weight = c.dt.EstimateFrequenciesInto(&sc.freq)
 	}
 	for _, b := range f.Blocks {
 		for i := range b.Instrs {
@@ -289,11 +346,24 @@ func (c *coalescer) phiInstr(pi int32) *ir.Instr {
 	return &c.f.Blocks[p.block].Instrs[p.idx]
 }
 
-// blockMap returns the def-block occupancy map for a union-find root, or
-// nil for a still-singleton class (whose only occupied block is the
-// root's own defining block) — avoiding a map allocation per variable.
-func (c *coalescer) blockMap(root int) map[ir.BlockID]ir.VarID {
-	return c.blocks[root]
+// occOf returns the def-block occupancy list for a union-find root,
+// materializing the implicit singleton {defBlock[root]} on first touch.
+// Lists are unsorted; merges concatenate them (members of a class have
+// pairwise-distinct defining blocks, so no entry ever repeats).
+func (c *coalescer) occOf(root int) []ir.BlockID {
+	if len(c.sc.occ[root]) == 0 {
+		c.sc.occ[root] = append(c.sc.occ[root], c.defBlock[root])
+	}
+	return c.sc.occ[root]
+}
+
+func blockListHas(occ []ir.BlockID, b ir.BlockID) bool {
+	for _, x := range occ {
+		if x == b {
+			return true
+		}
+	}
+	return false
 }
 
 // unionPhiResources is step 1 (§3.1): union every φ name with its
@@ -308,14 +378,22 @@ func (c *coalescer) blockMap(root int) map[ir.BlockID]ir.VarID {
 //  5. ai's defining block is already occupied by another member of the
 //     class (which also keeps Definition 3.1 satisfiable).
 func (c *coalescer) unionPhiResources() {
-	claimed := c.sc.claimed
-	clear(claimed)
+	sc := c.sc
+	if sc.phiCmp == nil {
+		sc.phiCmp = sc.co.phiArgCmp
+	}
 	curBlock := ir.NoBlock
 	for pi := range c.phis {
 		rec := c.phis[pi]
 		if rec.block != curBlock {
+			// Entering a new φ-block: "clear" the claim table by moving to
+			// a fresh generation.
 			curBlock = rec.block
-			clear(claimed)
+			sc.claimGen++
+			if sc.claimGen == 0 { // wraparound: ancient stamps could collide
+				clear(sc.claimedGen[:cap(sc.claimedGen)])
+				sc.claimGen = 1
+			}
 		}
 		in := c.phiInstr(int32(pi))
 		d := in.Def
@@ -324,15 +402,13 @@ func (c *coalescer) unionPhiResources() {
 		// a name (check 4) or a def-block slot (check 5), the frequent
 		// edge should win the free coalesce and the copy should land on
 		// the cold edge.
-		order := reuse.Slice(c.sc.order, len(in.Args))
-		c.sc.order = order
+		order := reuse.Slice(sc.order, len(in.Args))
+		sc.order = order
 		for i := range order {
 			order[i] = i
 		}
-		preds := c.f.Blocks[rec.block].Preds
-		sort.SliceStable(order, func(x, y int) bool {
-			return c.weight[preds[order[x]]] > c.weight[preds[order[y]]]
-		})
+		c.sortPreds = c.f.Blocks[rec.block].Preds
+		slices.SortStableFunc(order, sc.phiCmp)
 		for _, ai := range order {
 			a := in.Args[ai]
 			c.st.PhiArgs++
@@ -351,7 +427,7 @@ func (c *coalescer) unionPhiResources() {
 				case c.isPhiDef[a] && c.live.LiveIn(c.defBlock[a], d):
 					filter = 2
 				default:
-					if owner, ok := claimed[a]; ok && owner != int32(pi) {
+					if sc.claimedGen[a] == sc.claimGen && sc.claimedBy[a] != int32(pi) {
 						filter = 3
 					}
 				}
@@ -364,70 +440,76 @@ func (c *coalescer) unionPhiResources() {
 				continue
 			}
 			c.mergeClasses(rd, ra)
-			claimed[a] = int32(pi)
+			sc.claimedBy[a] = int32(pi)
+			sc.claimedGen[a] = sc.claimGen
 			c.st.InitialUnions++
 		}
 	}
 }
 
-// defBlockConflict reports whether the classes rooted at r1 and r2 both
-// contain a variable defined in some common block. A nil map stands for
-// the singleton {defBlock[root]}.
-func (c *coalescer) defBlockConflict(r1, r2 int) bool {
-	m1, m2 := c.blockMap(r1), c.blockMap(r2)
+// phiArgCmp orders the φ-argument indices of the current φ (whose
+// predecessor list is c.sortPreds) by decreasing edge weight; the stable
+// sort keeps argument order within equal weights.
+func (c *coalescer) phiArgCmp(x, y int) int {
+	wx, wy := c.weight[c.sortPreds[x]], c.weight[c.sortPreds[y]]
 	switch {
-	case m1 == nil && m2 == nil:
+	case wx > wy:
+		return -1
+	case wx < wy:
+		return 1
+	}
+	return 0
+}
+
+// defBlockConflict reports whether the classes rooted at r1 and r2 both
+// contain a variable defined in some common block. An empty occupancy
+// list stands for the singleton {defBlock[root]}. The two-list case
+// stamps the smaller list's blocks with a fresh generation and probes the
+// larger, so the cost is linear in the smaller class with no clearing.
+func (c *coalescer) defBlockConflict(r1, r2 int) bool {
+	sc := c.sc
+	o1, o2 := sc.occ[r1], sc.occ[r2]
+	switch {
+	case len(o1) == 0 && len(o2) == 0:
 		return c.defBlock[r1] == c.defBlock[r2]
-	case m1 == nil:
-		_, ok := m2[c.defBlock[r1]]
-		return ok
-	case m2 == nil:
-		_, ok := m1[c.defBlock[r2]]
-		return ok
+	case len(o1) == 0:
+		return blockListHas(o2, c.defBlock[r1])
+	case len(o2) == 0:
+		return blockListHas(o1, c.defBlock[r2])
 	}
-	if len(m1) > len(m2) {
-		m1, m2 = m2, m1
+	if len(o1) > len(o2) {
+		o1, o2 = o2, o1
 	}
-	for b := range m1 {
-		if _, ok := m2[b]; ok {
+	sc.blockGen++
+	if sc.blockGen == 0 {
+		clear(sc.blockMark[:cap(sc.blockMark)])
+		sc.blockGen = 1
+	}
+	g := sc.blockGen
+	for _, b := range o1 {
+		sc.blockMark[b] = g
+	}
+	for _, b := range o2 {
+		if sc.blockMark[b] == g {
 			return true
 		}
 	}
 	return false
 }
 
-// newBlockMap returns a single-entry occupancy map, recycling one freed
-// by an earlier merge when available.
-func (c *coalescer) newBlockMap(b ir.BlockID, v ir.VarID) map[ir.BlockID]ir.VarID {
-	if n := len(c.sc.freeMaps); n > 0 {
-		m := c.sc.freeMaps[n-1]
-		c.sc.freeMaps = c.sc.freeMaps[:n-1]
-		clear(m)
-		m[b] = v
-		return m
-	}
-	return map[ir.BlockID]ir.VarID{b: v}
-}
-
 func (c *coalescer) mergeClasses(r1, r2 int) {
-	m1, m2 := c.blockMap(r1), c.blockMap(r2)
+	sc := c.sc
+	o1, o2 := c.occOf(r1), c.occOf(r2)
 	root, _ := c.uf.Union(r1, r2)
-	if m1 == nil {
-		m1 = c.newBlockMap(c.defBlock[r1], ir.VarID(r1))
+	loser := r1 + r2 - root
+	if len(o1) < len(o2) {
+		o1, o2 = o2, o1
 	}
-	if m2 == nil {
-		m2 = c.newBlockMap(c.defBlock[r2], ir.VarID(r2))
-	}
-	if len(m1) < len(m2) {
-		m1, m2 = m2, m1
-	}
-	for b, v := range m2 {
-		m1[b] = v
-	}
-	delete(c.blocks, r1)
-	delete(c.blocks, r2)
-	c.blocks[root] = m1
-	c.sc.freeMaps = append(c.sc.freeMaps, m2)
+	// The merged list takes the larger backing; the loser keeps the other
+	// (smaller) backing truncated, so the two slots never alias even when
+	// the loser root is revisited by a later run of the same Scratch.
+	sc.occ[root] = append(o1, o2...)
+	sc.occ[loser] = o2[:0]
 }
 
 // materializeClasses converts union-find sets into explicit member lists;
@@ -435,11 +517,13 @@ func (c *coalescer) mergeClasses(r1, r2 int) {
 // Classes are numbered in variable order, keeping the pass deterministic.
 func (c *coalescer) materializeClasses() {
 	nv := c.f.NumVars()
-	size := make([]int32, nv) // indexed by root (roots are variable IDs)
+	size := reuse.Zeroed(c.sc.classSize, nv) // indexed by root (roots are variable IDs)
+	c.sc.classSize = size
 	for v := 0; v < nv; v++ {
 		size[c.uf.Find(v)]++
 	}
-	byRoot := make([]int32, nv)
+	byRoot := reuse.Slice(c.sc.classByRoot, nv)
+	c.sc.classByRoot = byRoot
 	for i := range byRoot {
 		byRoot[i] = -1
 	}

@@ -30,7 +30,7 @@ func (c *coalescer) resolveInterference() {
 	for {
 		c.st.Rounds++
 		splits := 0
-		var localPairs []pair
+		localPairs := c.sc.pairs[:0]
 		for k := 0; k < len(c.members); k++ {
 			if !c.dirty[k] {
 				continue
@@ -39,6 +39,7 @@ func (c *coalescer) resolveInterference() {
 			splits += c.stabilizeBoundary(int32(k), &localPairs)
 		}
 		splits += c.localPass(localPairs)
+		c.sc.pairs = localPairs[:0]
 		if splits == 0 {
 			break
 		}
@@ -74,26 +75,27 @@ func (c *coalescer) resolve(k int32, p, ch, victim ir.VarID) {
 }
 
 // stabilizeBoundary repeats the class walk until it finds no certain
-// (block-boundary) interference, then records the remaining local-check
-// pairs. It returns how many members it split.
+// (block-boundary) interference, then leaves the remaining local-check
+// pairs appended to *pairs (a conflicted walk's partial pairs are rolled
+// back before the re-walk). It returns how many members it split.
 func (c *coalescer) stabilizeBoundary(k int32, pairs *[]pair) int {
 	splits := 0
 	for {
 		if len(c.members[k]) < 2 {
 			return splits
 		}
+		mark := len(*pairs)
 		var cf conflict
 		var found bool
-		var walkPairs []pair
 		if c.opt.NaivePairwise {
-			cf, found, walkPairs = c.walkNaive(k)
+			cf, found = c.walkNaive(k, pairs)
 		} else {
-			cf, found, walkPairs = c.walkForest(k)
+			cf, found = c.walkForest(k, pairs)
 		}
 		if !found {
-			*pairs = append(*pairs, walkPairs...)
 			return splits
 		}
+		*pairs = (*pairs)[:mark]
 		c.resolve(k, cf.p, cf.c, cf.victim)
 		c.st.ForestSplits++
 		splits++
@@ -109,9 +111,9 @@ type conflict struct {
 
 // walkForest builds the class's dominance forest and traverses it depth
 // first (Figure 2). It returns the first certain interference (with the
-// member Figure 2 would split), or the local-check pairs if the walk is
-// clean.
-func (c *coalescer) walkForest(k int32) (cf conflict, found bool, pairs []pair) {
+// member Figure 2 would split); a clean walk instead appends the
+// local-check pairs to *pairs.
+func (c *coalescer) walkForest(k int32, pairs *[]pair) (cf conflict, found bool) {
 	fo := domforest.BuildInto(&c.sc.forest, c.dt, c.members[k], func(v ir.VarID) ir.BlockID {
 		return c.defBlock[v]
 	})
@@ -141,14 +143,14 @@ func (c *coalescer) walkForest(k int32) (cf conflict, found bool, pairs []pair) 
 				cf.victim = cv
 			}
 			c.sc.stack = stack[:0]
-			return cf, true, nil
+			return cf, true
 		}
 		if c.live.LiveIn(node.Block, pv) {
-			pairs = append(pairs, pair{p: pv, c: cv})
+			*pairs = append(*pairs, pair{p: pv, c: cv})
 		}
 	}
 	c.sc.stack = stack[:0]
-	return conflict{}, false, pairs
+	return conflict{}, false
 }
 
 // parentOtherwiseClean reports whether the parent node cannot interfere
@@ -170,7 +172,7 @@ func (c *coalescer) parentOtherwiseClean(fo *domforest.Forest, parent, exclude i
 
 // walkNaive is the NaivePairwise ablation: compare every dominance-related
 // pair in the class directly.
-func (c *coalescer) walkNaive(k int32) (cf conflict, found bool, pairs []pair) {
+func (c *coalescer) walkNaive(k int32, pairs *[]pair) (cf conflict, found bool) {
 	ms := c.members[k]
 	for i := 0; i < len(ms); i++ {
 		for j := i + 1; j < len(ms); j++ {
@@ -190,14 +192,14 @@ func (c *coalescer) walkNaive(k int32) (cf conflict, found bool, pairs []pair) {
 				if c.splitCost(cv) < c.splitCost(pv) {
 					cf.victim = cv
 				}
-				return cf, true, nil
+				return cf, true
 			}
 			if c.live.LiveIn(c.defBlock[cv], pv) {
-				pairs = append(pairs, pair{p: pv, c: cv})
+				*pairs = append(*pairs, pair{p: pv, c: cv})
 			}
 		}
 	}
-	return conflict{}, false, pairs
+	return conflict{}, false
 }
 
 // classLink is one φ def-arg connection inside a congruence class; w is
@@ -214,10 +216,16 @@ type classLink struct {
 // the cut turn into copies during step 4 because their endpoints now join
 // different classes — realizing §3.1's "only a single copy is needed"
 // with the cheapest possible copy set.
+//
+// The graph lives entirely in the Scratch: links in append order, and
+// per-variable adjacency as half-edge lists (half-edge 2li sits at link
+// li's u endpoint, 2li+1 at its v endpoint) threaded through halfNext in
+// tail-append order, so each variable's links are visited in exactly the
+// order the old per-variable append built them.
 func (c *coalescer) cutLinks(k int32, a, b ir.VarID) {
+	sc := c.sc
 	ms := c.members[k]
-	var links []classLink
-	adj := make(map[ir.VarID][]int32, len(ms))
+	links := sc.links[:0]
 	for _, m := range ms {
 		pi := c.phiOfDef[m]
 		if pi < 0 {
@@ -229,93 +237,65 @@ func (c *coalescer) cutLinks(k int32, a, b ir.VarID) {
 			if arg == m || !c.sameClass(m, arg) {
 				continue
 			}
-			li := int32(len(links))
 			links = append(links, classLink{u: m, v: arg, w: c.weight[preds[i]]})
-			adj[m] = append(adj[m], li)
-			adj[arg] = append(adj[arg], li)
 		}
+	}
+	sc.links = links
+
+	sc.adjCur++
+	if sc.adjCur == 0 {
+		clear(sc.adjGen[:cap(sc.adjGen)])
+		sc.adjCur = 1
+	}
+	sc.halfNext = reuse.Slice(sc.halfNext, 2*len(links))
+	for li := range links {
+		c.addHalf(links[li].u, int32(2*li))
+		c.addHalf(links[li].v, int32(2*li+1))
 	}
 
 	// Undirected max-flow: each link holds capacity w in both directions;
 	// flow along u->v consumes cap[u->v] and refunds cap[v->u].
-	capUV := make([]float64, len(links)) // residual u -> v
-	capVU := make([]float64, len(links)) // residual v -> u
-	for i, l := range links {
-		capUV[i], capVU[i] = l.w, l.w
-	}
-	residual := func(li int32, from ir.VarID) *float64 {
-		if links[li].u == from {
-			return &capUV[li]
-		}
-		return &capVU[li]
-	}
-	other := func(li int32, from ir.VarID) ir.VarID {
-		if links[li].u == from {
-			return links[li].v
-		}
-		return links[li].u
+	capUV := reuse.Slice(sc.capUV, len(links)) // residual u -> v
+	capVU := reuse.Slice(sc.capVU, len(links)) // residual v -> u
+	sc.capUV, sc.capVU = capUV, capVU
+	for i := range links {
+		capUV[i], capVU[i] = links[i].w, links[i].w
 	}
 
-	via := make(map[ir.VarID]int32, len(ms))
-	const eps = 1e-12
-	findPath := func() bool { // BFS over positive-residual arcs
-		clear(via)
-		via[a] = -1
-		queue := []ir.VarID{a}
-		for len(queue) > 0 {
-			m := queue[0]
-			queue = queue[1:]
-			if m == b {
-				return true
-			}
-			for _, li := range adj[m] {
-				if *residual(li, m) <= eps {
-					continue
-				}
-				o := other(li, m)
-				if _, seen := via[o]; !seen {
-					via[o] = li
-					queue = append(queue, o)
-				}
-			}
-		}
-		return false
-	}
-
-	for findPath() {
+	for c.findPath(a, b) {
 		// Bottleneck along the path, then augment.
 		bottleneck := -1.0
 		for m := b; m != a; {
-			li := via[m]
-			o := other(li, m)
-			if r := *residual(li, o); bottleneck < 0 || r < bottleneck {
+			li := sc.via[m]
+			o := c.other(li, m)
+			if r := *c.residual(li, o); bottleneck < 0 || r < bottleneck {
 				bottleneck = r
 			}
 			m = o
 		}
 		for m := b; m != a; {
-			li := via[m]
-			o := other(li, m)
-			*residual(li, o) -= bottleneck
-			*residual(li, m) += bottleneck
+			li := sc.via[m]
+			o := c.other(li, m)
+			*c.residual(li, o) -= bottleneck
+			*c.residual(li, m) += bottleneck
 			m = o
 		}
 	}
 
 	// Min cut: members reachable from a in the residual graph keep the
-	// class (findPath already failed, so via holds that reachable set).
-	keep := make(map[ir.VarID]bool, len(via))
-	for m := range via {
-		keep[m] = true
-	}
-	var kept, moved []ir.VarID
+	// class (findPath just failed, so the current viaGen stamps mark that
+	// reachable set). kept is built in place over the member list; the
+	// movers are staged in the scratch buffer.
+	moved := sc.movedBuf[:0]
+	kept := ms[:0]
 	for _, m := range ms {
-		if keep[m] {
+		if sc.viaGen[m] == sc.cutGen {
 			kept = append(kept, m)
 		} else {
 			moved = append(moved, m)
 		}
 	}
+	sc.movedBuf = moved
 	c.members[k] = kept
 	c.dirty[k] = true
 	for _, m := range kept {
@@ -324,8 +304,8 @@ func (c *coalescer) cutLinks(k int32, a, b ir.VarID) {
 		}
 	}
 	if len(moved) >= 2 {
-		nk := int32(len(c.members))
-		c.members = append(c.members, moved)
+		nk := c.newClass()
+		c.members[nk] = append(c.members[nk], moved...)
 		c.dirty = append(c.dirty, true)
 		for _, m := range moved {
 			c.classOf[m] = nk
@@ -337,6 +317,80 @@ func (c *coalescer) cutLinks(k int32, a, b ir.VarID) {
 	}
 }
 
+// addHalf appends half-edge h to v's adjacency list, starting a fresh
+// list when v was last touched by an earlier cutLinks invocation.
+func (c *coalescer) addHalf(v ir.VarID, h int32) {
+	sc := c.sc
+	if sc.adjGen[v] != sc.adjCur {
+		sc.adjGen[v] = sc.adjCur
+		sc.adjHead[v] = h
+	} else {
+		sc.halfNext[sc.adjTail[v]] = h
+	}
+	sc.adjTail[v] = h
+	sc.halfNext[h] = -1
+}
+
+// residual returns the residual capacity of link li in the direction
+// leading out of from.
+func (c *coalescer) residual(li int32, from ir.VarID) *float64 {
+	if c.sc.links[li].u == from {
+		return &c.sc.capUV[li]
+	}
+	return &c.sc.capVU[li]
+}
+
+// other returns link li's endpoint opposite from.
+func (c *coalescer) other(li int32, from ir.VarID) ir.VarID {
+	if c.sc.links[li].u == from {
+		return c.sc.links[li].v
+	}
+	return c.sc.links[li].u
+}
+
+// findPath runs one BFS from a over positive-residual arcs, recording the
+// arriving link per variable in via under a fresh viaGen generation; it
+// reports whether b was reached. After a failed search the generation's
+// stamps identify exactly the residual-reachable (kept) side of the cut.
+func (c *coalescer) findPath(a, b ir.VarID) bool {
+	sc := c.sc
+	sc.cutGen++
+	if sc.cutGen == 0 {
+		clear(sc.viaGen[:cap(sc.viaGen)])
+		sc.cutGen = 1
+	}
+	g := sc.cutGen
+	sc.viaGen[a] = g
+	sc.via[a] = -1
+	const eps = 1e-12
+	queue := append(sc.bfsQueue[:0], a)
+	for head := 0; head < len(queue); head++ {
+		m := queue[head]
+		if m == b {
+			sc.bfsQueue = queue[:0]
+			return true
+		}
+		h := int32(-1)
+		if sc.adjGen[m] == sc.adjCur {
+			h = sc.adjHead[m]
+		}
+		for ; h >= 0; h = sc.halfNext[h] {
+			li := h >> 1
+			if *c.residual(li, m) <= eps {
+				continue
+			}
+			o := c.other(li, m)
+			if sc.viaGen[o] != g {
+				sc.viaGen[o] = g
+				sc.via[o] = li
+				queue = append(queue, o)
+			}
+		}
+	}
+	sc.bfsQueue = queue[:0]
+	return false
+}
+
 // localPass is step 3 (§3.4): for each candidate pair, walk the child's
 // defining block backward to see whether the parent's last use comes after
 // the child's definition. Each block is scanned once, covering all of its
@@ -345,25 +399,35 @@ func (c *coalescer) localPass(pairs []pair) int {
 	if len(pairs) == 0 {
 		return 0
 	}
-	byBlock := make(map[ir.BlockID][]pair)
-	var order []ir.BlockID
+	sc := c.sc
+	byBlock := reuse.Truncated(sc.lpByBlock, len(c.f.Blocks))
+	sc.lpByBlock = byBlock
+	order := sc.lpOrder[:0]
 	for _, pr := range pairs {
 		b := c.defBlock[pr.c]
-		if _, ok := byBlock[b]; !ok {
+		if len(byBlock[b]) == 0 {
 			order = append(order, b)
 		}
 		byBlock[b] = append(byBlock[b], pr)
 	}
+	sc.lpOrder = order
 
 	splits := 0
 	for _, bid := range order {
 		prs := byBlock[bid]
 		// One backward scan records the last non-φ use of every parent
-		// variable queried in this block. φ arguments are uses on incoming
+		// variable queried in this block (a stamped slot per variable,
+		// fresh generation per block). φ arguments are uses on incoming
 		// edges, not in this block, so they are skipped.
-		lastUse := make(map[ir.VarID]int32)
+		sc.lastGen++
+		if sc.lastGen == 0 {
+			clear(sc.lastUseGen[:cap(sc.lastUseGen)])
+			sc.lastGen = 1
+		}
+		g := sc.lastGen
 		for _, pr := range prs {
-			lastUse[pr.p] = -1
+			sc.lastUse[pr.p] = -1
+			sc.lastUseGen[pr.p] = g
 		}
 		blk := c.f.Blocks[bid]
 		for i := len(blk.Instrs) - 1; i >= 0; i-- {
@@ -372,8 +436,8 @@ func (c *coalescer) localPass(pairs []pair) int {
 				break // φ prefix reached
 			}
 			for _, a := range in.Args {
-				if lu, ok := lastUse[a]; ok && lu < int32(i) {
-					lastUse[a] = int32(i)
+				if sc.lastUseGen[a] == g && sc.lastUse[a] < int32(i) {
+					sc.lastUse[a] = int32(i)
 				}
 			}
 		}
@@ -386,7 +450,7 @@ func (c *coalescer) localPass(pairs []pair) int {
 				// The parent is live-in, hence live at the φ definition.
 				conflict = true
 			} else {
-				conflict = lastUse[pr.p] > c.defIdx[pr.c]
+				conflict = sc.lastUse[pr.p] > c.defIdx[pr.c]
 			}
 			if !conflict {
 				continue

@@ -1,0 +1,126 @@
+package core
+
+// Performance contracts of the coalescer: the warm-Scratch conversion of
+// a fully-coalescing function allocates nothing (the dense generation-
+// stamped scratch replaced every per-run map), and the two hottest
+// sub-passes — the §3.4 local pass and the φ-link min-cut — have
+// in-package micro-benchmarks that `go test -bench` and the committed
+// BENCH_*.json baseline both track.
+
+import (
+	"testing"
+
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/ssa"
+)
+
+// perfLocalSrc redefines and reuses names inside one block so that
+// parent/child candidates survive to the local pass; it coalesces fully
+// (zero copies inserted), which the zero-alloc test depends on: copy
+// materialization (ssa.InsertCopiesAtEnd) is the one remaining step that
+// allocates, and it only runs when copies exist.
+const perfLocalSrc = `
+func localpass(n int, a []int, b []int) int {
+	var s int = 0
+	var t int = 1
+	var u int = 2
+	for var i = 0; i < n; i = i + 1 {
+		var x int = a[i] + t
+		t = x + s
+		s = t + u
+		u = s + x
+		b[i] = u
+		if u > 100 {
+			u = u - 100
+			s = s - t
+		}
+	}
+	return s + t + u
+}`
+
+// perfCutSrc rotates values through loop-carried φs so some class must be
+// separated by cutting φ links (the min-cut path).
+const perfCutSrc = `
+func cutlinks(n int, a []int) int {
+	var x int = 0
+	var y int = 1
+	var z int = 2
+	for var i = 0; i < n; i = i + 1 {
+		var t int = x
+		x = y
+		y = z
+		z = t + a[i]
+		if z > 50 {
+			var u int = x
+			x = z
+			z = u
+		}
+	}
+	return x + y + z
+}`
+
+func buildSSA(tb testing.TB, src string) *ir.Func {
+	tb.Helper()
+	f, err := lang.CompileOne(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ssa.Build(f, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+	return f
+}
+
+// TestCoalesceScratchZeroAlloc pins the steady-state contract: once the
+// Scratch is warm, CoalesceScratch on a fully-coalescing function of the
+// same shape performs zero allocations.
+func TestCoalesceScratchZeroAlloc(t *testing.T) {
+	g := buildSSA(t, perfLocalSrc)
+
+	// Premise check: the workload must coalesce to zero copies, otherwise
+	// copy materialization legitimately allocates.
+	probe := g.Clone()
+	Coalesce(probe, Options{})
+	if n := probe.CountCopies(); n != 0 {
+		t.Fatalf("workload inserts %d copies; zero-alloc test needs a fully-coalescing one", n)
+	}
+
+	const runs = 100
+	clones := make([]*ir.Func, runs+2)
+	for i := range clones {
+		clones[i] = g.Clone()
+	}
+	var sc Scratch
+	CoalesceScratch(g.Clone(), Options{}, &sc) // warm-up: grow to high-water mark
+	i := 0
+	if n := testing.AllocsPerRun(runs, func() {
+		CoalesceScratch(clones[i], Options{}, &sc)
+		i++
+	}); n != 0 {
+		t.Fatalf("warm CoalesceScratch allocates %v objects per run, want 0", n)
+	}
+}
+
+// benchSteps measures the analysis and coalescing steps (1–3) on a warm
+// Scratch. Those steps never mutate the function, so one SSA-form input
+// serves every iteration; step 4 (rewrite) is excluded because it
+// destroys the input.
+func benchSteps(b *testing.B, src string) {
+	f := buildSSA(b, src)
+	var sc Scratch
+	run := func() {
+		c := newCoalescer(f, Options{}, &sc)
+		c.unionPhiResources()
+		c.materializeClasses()
+		c.resolveInterference()
+		sc.phis, sc.members, sc.dirty = c.phis, c.members, c.dirty
+	}
+	run() // warm-up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkLocalPass(b *testing.B) { benchSteps(b, perfLocalSrc) }
+func BenchmarkCutLinks(b *testing.B)  { benchSteps(b, perfCutSrc) }

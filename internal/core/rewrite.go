@@ -80,11 +80,16 @@ func (c *coalescer) rewrite() {
 		b.Instrs = out
 	}
 
-	// Materialize the Waiting array.
-	newTemp := func() ir.VarID {
-		c.st.TempsCreated++
-		return f.NewVar("")
+	// Materialize the Waiting array. The temp factory is created once per
+	// Scratch: it captures only c (&sc.co, stable across runs) and reads
+	// the current function and Stats through it.
+	if c.sc.tempFn == nil {
+		c.sc.tempFn = func() ir.VarID {
+			c.st.TempsCreated++
+			return c.f.NewVar("")
+		}
 	}
+	newTemp := c.sc.tempFn
 	for bi, copies := range waiting {
 		if len(copies) == 0 {
 			continue

@@ -1,6 +1,9 @@
 package dom
 
-import "fastcoalesce/internal/ir"
+import (
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/reuse"
+)
 
 // Loop describes one natural loop.
 type Loop struct {
@@ -106,6 +109,58 @@ func (t *Tree) EstimateFrequencies(li *LoopInfo) []float64 {
 			}
 		}
 		if li.headers[b] {
+			if sum == 0 {
+				sum = 1 // irreducible entry: degrade gracefully
+			}
+			sum *= 10
+		}
+		if sum < 1e-9 {
+			sum = 1e-9
+		}
+		freq[b] = sum
+	}
+	return freq
+}
+
+// FreqScratch holds the reusable state of EstimateFrequenciesInto. The
+// zero value is ready to use; a FreqScratch belongs to one goroutine.
+type FreqScratch struct {
+	headers []bool
+	freq    []float64
+}
+
+// EstimateFrequenciesInto is EstimateFrequencies reusing sc's memory. It
+// also skips the loop-body discovery FindLoops performs: the estimate
+// only needs to know which blocks head a natural loop, which falls
+// directly out of a back-edge scan (an edge d->h where h dominates d).
+// The returned slice aliases sc and is invalidated by the next call with
+// the same FreqScratch; a warm call allocates nothing.
+func (t *Tree) EstimateFrequenciesInto(sc *FreqScratch) []float64 {
+	f := t.f
+	n := len(f.Blocks)
+	headers := reuse.Zeroed(sc.headers, n)
+	sc.headers = headers
+	for b := 0; b < n; b++ {
+		for _, s := range f.Blocks[b].Succs {
+			if t.Dominates(s, ir.BlockID(b)) {
+				headers[s] = true
+			}
+		}
+	}
+	freq := reuse.Zeroed(sc.freq, n)
+	sc.freq = freq
+	freq[f.Entry] = 1
+	for _, b := range t.RPO {
+		if b == f.Entry {
+			continue
+		}
+		sum := 0.0
+		for _, p := range f.Blocks[b].Preds {
+			if t.RPONum[p] < t.RPONum[b] { // forward edge
+				sum += freq[p] / float64(len(f.Blocks[p].Succs))
+			}
+		}
+		if headers[b] {
 			if sum == 0 {
 				sum = 1 // irreducible entry: degrade gracefully
 			}

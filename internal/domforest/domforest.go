@@ -65,7 +65,10 @@ func BuildInto(fo *Forest, dt *dom.Tree, vars []ir.VarID, defBlock func(ir.VarID
 	if cap(fo.Nodes) >= n {
 		fo.Nodes = fo.Nodes[:n]
 	} else {
-		fo.Nodes = make([]Node, n)
+		// Grow by extending rather than replacing, so the Children
+		// backing arrays of existing nodes survive into the new buffer
+		// and warm rebuilds stay allocation-free.
+		fo.Nodes = append(fo.Nodes[:cap(fo.Nodes)], make([]Node, n-cap(fo.Nodes))...)
 	}
 	fo.Roots = fo.Roots[:0]
 	for i, v := range vars {

@@ -1,5 +1,5 @@
-// Package liveness implements iterative backward live-variable analysis
-// over the IR, with the φ-aware convention the paper relies on (§3.1):
+// Package liveness implements backward live-variable analysis over the
+// IR, with the φ-aware convention the paper relies on (§3.1):
 //
 //   - a φ-node's definition occurs at the top of its block, so the φ name
 //     is never live-in to that block;
@@ -11,10 +11,24 @@
 //
 // The same code handles non-SSA programs (no φ-nodes present).
 //
+// Two solvers compute the same (unique) least fixpoint:
+//
+//   - the default predecessor-driven worklist solver (ComputeScratch):
+//     blocks are seeded once in postorder and thereafter a block is
+//     revisited only when the live-in set of one of its successors grew,
+//     in the spirit of sparse dataflow evaluation — on typical CFGs most
+//     blocks are processed once or twice;
+//   - the round-robin solver (ComputeRoundRobinScratch): full postorder
+//     sweeps until a sweep changes nothing. It is retained as the
+//     differential oracle for the worklist solver and as the simplest
+//     possible reference implementation.
+//
+// Blocks unreachable from the entry keep empty sets under both solvers.
+//
 // Concurrency: an Info is immutable once returned and safe for concurrent
 // readers. A Scratch is a single-goroutine arena; ComputeScratch recycles
 // it, so the Info it returns (and every bit set inside) is valid only
-// until the next ComputeScratch call with the same Scratch. The batch
+// until the next Compute*Scratch call with the same Scratch. The batch
 // driver keeps one Scratch per worker.
 package liveness
 
@@ -31,8 +45,14 @@ type Info struct {
 }
 
 // Scratch holds the reusable state of one liveness computation: the live
-// sets themselves (arena-backed) and the traversal worklists. The zero
-// value is ready to use.
+// sets themselves (arena-backed), the traversal worklists, and the
+// epoch-stamped queue membership marks. The zero value is ready to use.
+//
+// The queued marks use the generation-stamp idiom: instead of clearing a
+// per-block boolean array between runs, each run bumps epoch and a block
+// counts as queued only when queued[b] equals the current epoch. Stale
+// stamps from earlier runs are always smaller and never collide (the
+// array is wiped on the 2^32-run wraparound).
 type Scratch struct {
 	arena  bitset.Arena
 	info   Info
@@ -41,55 +61,116 @@ type Scratch struct {
 	order  []ir.BlockID
 	state  []uint8
 	frames []dfsFrame
+
+	queue  []ir.BlockID
+	queued []uint32
+	epoch  uint32
 }
 
-// Compute runs the analysis to fixpoint. The returned Info is freshly
-// allocated and owned by the caller.
+// Compute runs the worklist solver to fixpoint. The returned Info is
+// freshly allocated and owned by the caller.
 func Compute(f *ir.Func) *Info {
 	return ComputeScratch(f, &Scratch{})
 }
 
-// ComputeScratch runs the analysis to fixpoint, reusing sc's memory. The
-// returned Info aliases sc and is invalidated by the next ComputeScratch
-// call with the same Scratch.
+// ComputeScratch runs the worklist solver to fixpoint, reusing sc's
+// memory. The returned Info aliases sc and is invalidated by the next
+// Compute*Scratch call with the same Scratch. A warm Scratch makes the
+// whole computation allocation-free.
 func ComputeScratch(f *ir.Func, sc *Scratch) *Info {
-	nb := len(f.Blocks)
+	li, order := sc.prepare(f)
 	nv := f.NumVars()
-	sc.arena.Reset()
-	li := &sc.info
-	li.In = reuse.Slice(li.In, nb)
-	li.Out = reuse.Slice(li.Out, nb)
-	ueVar := reuse.Slice(sc.ueVar, nb) // upward-exposed uses (excl. φ args)
-	defs := reuse.Slice(sc.defs, nb)   // vars defined in block (incl. φ defs)
-	sc.ueVar, sc.defs = ueVar, defs
-	for i := 0; i < nb; i++ {
-		li.In[i] = sc.arena.New(nv)
-		li.Out[i] = sc.arena.New(nv)
-		ueVar[i] = sc.arena.New(nv)
-		defs[i] = sc.arena.New(nv)
-	}
 
-	for _, b := range f.Blocks {
-		ue, df := ueVar[b.ID], defs[b.ID]
-		for i := range b.Instrs {
-			in := &b.Instrs[i]
+	// The φ contribution to Out is static: argument i of a φ in block s
+	// is live-out of s's i-th predecessor no matter what the fixpoint
+	// does, so it is seeded once instead of being re-discovered on every
+	// visit. Only reachable predecessors receive sets (sc.state marks
+	// reachability after prepare).
+	for _, bid := range order {
+		b := f.Blocks[bid]
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
 			if in.Op != ir.OpPhi {
-				for _, a := range in.Args {
-					if !df.Has(int(a)) {
-						ue.Add(int(a))
-					}
-				}
+				break
 			}
-			if in.Op.HasDef() {
-				df.Add(int(in.Def))
+			for pi, a := range in.Args {
+				p := b.Preds[pi]
+				if sc.state[p] != 0 {
+					li.Out[p].Add(int(a))
+				}
 			}
 		}
 	}
 
-	// Iterate to fixpoint, sweeping blocks in postorder (successors before
-	// predecessors), which converges in a couple of passes on reducible
-	// CFGs. Blocks unreachable from the entry keep empty sets.
-	order := postorder(f, sc)
+	// Worklist, seeded with every reachable block in postorder so the
+	// first wave visits successors before predecessors. queued[b]==epoch
+	// means b is in the queue; the queue holds at most one copy of each
+	// block, so a ring buffer of nb+1 slots never overflows.
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wraparound: ancient stamps could collide
+		clear(sc.queued[:cap(sc.queued)])
+		sc.epoch = 1
+	}
+	epoch := sc.epoch
+	// Stale stamps in reused capacity were all written under smaller
+	// epochs (and make() zeroes fresh capacity), so no per-run clear is
+	// needed — that is the point of the stamps.
+	queued := reuse.Slice(sc.queued, len(f.Blocks))
+	sc.queued = queued
+	queue := reuse.Slice(sc.queue, len(order)+1)
+	sc.queue = queue
+	head, tail := 0, 0
+	for _, b := range order {
+		queued[b] = epoch
+		queue[tail] = b
+		tail++
+	}
+
+	tmp := sc.arena.New(nv)
+	for head != tail {
+		bid := queue[head]
+		head++
+		if head == len(queue) {
+			head = 0
+		}
+		queued[bid] = epoch - 1 // dequeued; may be re-queued later
+		b := f.Blocks[bid]
+		out := li.Out[bid]
+		for _, s := range b.Succs {
+			out.Or(li.In[s])
+		}
+		// In = UEVar ∪ (Out \ Def); if it grew, the predecessors' Out
+		// sets are stale and they must be revisited.
+		tmp.CopyFrom(out)
+		tmp.AndNot(sc.defs[bid])
+		tmp.Or(sc.ueVar[bid])
+		if li.In[bid].Or(tmp) {
+			for _, p := range b.Preds {
+				if sc.state[p] != 0 && queued[p] != epoch {
+					queued[p] = epoch
+					queue[tail] = p
+					tail++
+					if tail == len(queue) {
+						tail = 0
+					}
+				}
+			}
+		}
+	}
+	return li
+}
+
+// ComputeRoundRobin runs the retained reference solver with fresh memory.
+func ComputeRoundRobin(f *ir.Func) *Info {
+	return ComputeRoundRobinScratch(f, &Scratch{})
+}
+
+// ComputeRoundRobinScratch is the pre-worklist solver: it sweeps every
+// block in postorder until a full pass finds no change. It computes the
+// same fixpoint as ComputeScratch and is kept as the differential oracle.
+func ComputeRoundRobinScratch(f *ir.Func, sc *Scratch) *Info {
+	li, order := sc.prepare(f)
+	nv := f.NumVars()
 	tmp := sc.arena.New(nv)
 	for changed := true; changed; {
 		changed = false
@@ -124,8 +205,8 @@ func ComputeScratch(f *ir.Func, sc *Scratch) *Info {
 			}
 			// In = UEVar ∪ (Out \ Def)
 			tmp.CopyFrom(out)
-			tmp.AndNot(defs[bi])
-			tmp.Or(ueVar[bi])
+			tmp.AndNot(sc.defs[bi])
+			tmp.Or(sc.ueVar[bi])
 			if li.In[bi].Or(tmp) {
 				changed = true
 			}
@@ -134,13 +215,54 @@ func ComputeScratch(f *ir.Func, sc *Scratch) *Info {
 	return li
 }
 
+// prepare resets sc for f and computes the block-local sets shared by
+// both solvers: empty In/Out, upward-exposed uses, and defs. It returns
+// the Info under construction and the reachable blocks in postorder;
+// afterwards sc.state[b] != 0 marks b reachable from the entry.
+func (sc *Scratch) prepare(f *ir.Func) (*Info, []ir.BlockID) {
+	nb := len(f.Blocks)
+	nv := f.NumVars()
+	sc.arena.Reset()
+	li := &sc.info
+	li.In = reuse.Slice(li.In, nb)
+	li.Out = reuse.Slice(li.Out, nb)
+	ueVar := reuse.Slice(sc.ueVar, nb) // upward-exposed uses (excl. φ args)
+	defs := reuse.Slice(sc.defs, nb)   // vars defined in block (incl. φ defs)
+	sc.ueVar, sc.defs = ueVar, defs
+	for i := 0; i < nb; i++ {
+		li.In[i] = sc.arena.New(nv)
+		li.Out[i] = sc.arena.New(nv)
+		ueVar[i] = sc.arena.New(nv)
+		defs[i] = sc.arena.New(nv)
+	}
+
+	for _, b := range f.Blocks {
+		ue, df := ueVar[b.ID], defs[b.ID]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpPhi {
+				for _, a := range in.Args {
+					if !df.Has(int(a)) {
+						ue.Add(int(a))
+					}
+				}
+			}
+			if in.Op.HasDef() {
+				df.Add(int(in.Def))
+			}
+		}
+	}
+	return li, postorder(f, sc)
+}
+
 type dfsFrame struct {
 	b ir.BlockID
 	i int
 }
 
 // postorder returns the blocks of f in a depth-first postorder from the
-// entry, reusing sc's traversal state.
+// entry, reusing sc's traversal state. On return sc.state[b] != 0 exactly
+// when b is reachable.
 func postorder(f *ir.Func, sc *Scratch) []ir.BlockID {
 	n := len(f.Blocks)
 	out := reuse.Slice(sc.order, n)[:0]
