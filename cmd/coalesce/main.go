@@ -8,6 +8,7 @@
 //	coalesce -algo new -stats testdata/vswap.kl
 //	coalesce -algo briggs* -dump-ssa -run "1,2" kernel.kl
 //	coalesce -batch dir/ -jobs 8 -stats
+//	coalesce -batch dir/ -serve 127.0.0.1:8080
 //
 // Flags:
 //
@@ -20,16 +21,28 @@
 //	-check    none | fast | full: audit the conversion with internal/analysis
 //	-batch    compile every .kl/.ir file under a directory concurrently
 //	-jobs     worker count for -batch (default: one per CPU)
+//	-trace    write a JSONL phase trace of the batch to this file
+//	-serve    address for the monitored service mode: re-run the -batch jobs
+//	          round after round while serving /metrics, /debug/vars, /trace,
+//	          and /debug/pprof until SIGINT/SIGTERM (then drain and exit)
+//	-interval pause between -serve rounds (default 1s)
+//	-rounds   stop -serve after this many rounds (0 = until a signal)
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"fastcoalesce/internal/analysis"
 	"fastcoalesce/internal/core"
@@ -38,11 +51,22 @@ import (
 	"fastcoalesce/internal/interp"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/obs"
+	"fastcoalesce/internal/obs/obshttp"
 	"fastcoalesce/internal/opt"
 	"fastcoalesce/internal/ssa"
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "coalesce:", err)
+		os.Exit(1)
+	}
+}
+
+// realMain carries every error back here so deferred writers (trace
+// files, buffered stdout) flush before the process exits non-zero.
+func realMain() error {
 	algo := flag.String("algo", "new", "standard | new | briggs | briggs*")
 	flavor := flag.String("ssa", "pruned", "pruned | semi | minimal")
 	dumpIn := flag.Bool("dump-in", false, "print the input IR")
@@ -53,18 +77,28 @@ func main() {
 	checkName := flag.String("check", "none", "audit level: none | fast | full")
 	batch := flag.String("batch", "", "compile every .kl/.ir file under this directory through the batch driver")
 	jobs := flag.Int("jobs", 0, "worker count for -batch (0 = one per CPU)")
+	trace := flag.String("trace", "", "write a JSONL phase trace of the batch to this file")
+	serve := flag.String("serve", "", "monitored service mode: serve /metrics etc. on this address while re-running the -batch jobs")
+	interval := flag.Duration("interval", time.Second, "pause between -serve rounds")
+	rounds := flag.Int("rounds", 0, "stop -serve after this many rounds (0 = until SIGINT/SIGTERM)")
 	flag.Parse()
 
 	check, err := analysis.ParseLevel(*checkName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	if *batch != "" {
-		if err := runBatch(*batch, *algo, *jobs, *stats, check); err != nil {
-			fatal(err)
+	if *serve != "" {
+		if *batch == "" {
+			return fmt.Errorf("-serve needs -batch <dir> to know what to compile")
 		}
-		return
+		return runServe(*batch, *algo, *jobs, check, *serve, *interval, *rounds, *trace)
+	}
+	if *batch != "" {
+		return runBatch(*batch, *algo, *jobs, *stats, check, *trace)
+	}
+	if *trace != "" {
+		return fmt.Errorf("-trace applies to -batch and -serve modes")
 	}
 
 	if flag.NArg() != 1 {
@@ -74,19 +108,19 @@ func main() {
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var funcs []*ir.Func
 	if strings.HasSuffix(flag.Arg(0), ".ir") {
 		f, err := ir.Parse(string(src))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		funcs = []*ir.Func{f}
 	} else {
 		funcs, err = lang.Compile(string(src))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -99,14 +133,15 @@ func main() {
 	case "minimal":
 		fl = ssa.Minimal
 	default:
-		fatal(fmt.Errorf("unknown -ssa flavor %q", *flavor))
+		return fmt.Errorf("unknown -ssa flavor %q", *flavor)
 	}
 
 	for _, f := range funcs {
 		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs, check); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string, check analysis.Level) error {
@@ -252,16 +287,12 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 	return nil
 }
 
-// runBatch compiles every .kl/.ir file under dir through the concurrent
-// batch driver, prints one summary line per function in deterministic
-// (path) order, and finishes with the batch metrics table.
-func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level) error {
-	algo, err := driver.ParseAlgo(algoName)
-	if err != nil {
-		return err
-	}
+// collectJobs walks dir for .kl/.ir files and turns them into batch
+// jobs, one per function, in deterministic (path) order. Notes about
+// skipped φ-form inputs go to w.
+func collectJobs(dir string, algo driver.Algo, w io.Writer) ([]driver.Job, error) {
 	var paths []string
-	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
 			return err
 		}
@@ -271,11 +302,11 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sort.Strings(paths)
 	if len(paths) == 0 {
-		return fmt.Errorf("no .kl or .ir files under %s", dir)
+		return nil, fmt.Errorf("no .kl or .ir files under %s", dir)
 	}
 
 	// The Briggs pipelines rebuild SSA without copy folding and cannot
@@ -287,16 +318,16 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 	for _, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if strings.HasSuffix(path, ".ir") {
 			if briggs {
 				f, err := ir.Parse(string(src))
 				if err != nil {
-					return fmt.Errorf("%s: %w", path, err)
+					return nil, fmt.Errorf("%s: %w", path, err)
 				}
 				if f.CountPhis() > 0 {
-					fmt.Printf("%-40s SKIP  φ-form input incompatible with %v\n", path, algo)
+					fmt.Fprintf(w, "%-40s SKIP  φ-form input incompatible with %v\n", path, algo)
 					continue
 				}
 			}
@@ -307,31 +338,95 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 		// own job so they spread across workers.
 		funcs, err := lang.Compile(string(src))
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		for _, f := range funcs {
 			batchJobs = append(batchJobs, driver.Job{Name: path + ":" + f.Name, Func: f})
 		}
 	}
+	return batchJobs, nil
+}
 
-	results, snap := driver.Run(batchJobs, driver.Config{Algo: algo, Workers: workers, Check: check})
+// buildRecorder creates the observability recorder when tracing demands
+// one (or force is set), plus a close function that flushes the trace
+// sink and surfaces its first write error.
+func buildRecorder(tracePath string, force bool) (*obs.Recorder, func() error, error) {
+	var tf *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		tf = f
+	}
+	var rec *obs.Recorder
+	if tf != nil || force {
+		o := obs.Options{}
+		if tf != nil {
+			o.Trace = tf
+		}
+		rec = obs.NewRecorder(o)
+	}
+	closeFn := func() error {
+		err := rec.Close() // nil-safe; flushes the JSONL buffer
+		if tf != nil {
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && tracePath != "" {
+			return fmt.Errorf("writing trace %s: %w", tracePath, err)
+		}
+		return err
+	}
+	return rec, closeFn, nil
+}
+
+// runBatch compiles every .kl/.ir file under dir through the concurrent
+// batch driver, prints one summary line per function in deterministic
+// (path) order, and finishes with the batch metrics table.
+func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level, tracePath string) error {
+	algo, err := driver.ParseAlgo(algoName)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	batchJobs, err := collectJobs(dir, algo, out)
+	if err != nil {
+		out.Flush()
+		return err
+	}
+	rec, closeRec, err := buildRecorder(tracePath, false)
+	if err != nil {
+		out.Flush()
+		return err
+	}
+
+	results, snap := driver.Run(batchJobs, driver.Config{Algo: algo, Workers: workers, Check: check, Obs: rec})
 	bad, findings := 0, 0
 	for _, r := range results {
 		if r.Err != nil {
 			bad++
-			fmt.Printf("%-40s ERROR %v\n", r.Name, r.Err)
+			fmt.Fprintf(out, "%-40s ERROR %v\n", r.Name, r.Err)
 			continue
 		}
-		fmt.Printf("%-40s blocks %-4d copies %-4d φs-coalesced %d\n",
+		fmt.Fprintf(out, "%-40s blocks %-4d copies %-4d φs-coalesced %d\n",
 			r.Name, r.Func.NumBlocks(), r.Metrics.StaticCopies, r.Metrics.CopiesCoalesced)
 		if r.Report != nil && r.Report.Failed() {
 			findings += len(r.Report.Diags)
-			fmt.Printf("%-40s AUDIT findings:\n%s", r.Name, r.Report)
+			fmt.Fprintf(out, "%-40s AUDIT findings:\n%s", r.Name, r.Report)
 		}
 	}
 	if stats {
-		fmt.Println()
-		fmt.Print(snap.Table())
+		fmt.Fprintln(out)
+		out.WriteString(snap.Table())
+	}
+	err = closeRec()
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("stdout: %w", ferr)
+	}
+	if err != nil {
+		return err
 	}
 	if bad > 0 || findings > 0 {
 		return fmt.Errorf("%d of %d functions failed, %d audit findings",
@@ -340,7 +435,59 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "coalesce:", err)
-	os.Exit(1)
+// runServe is the monitored service mode: it re-runs the batch round
+// after round through driver.Serve while an HTTP exporter serves
+// /metrics, /debug/vars, /trace, and /debug/pprof from the same
+// recorder. SIGINT/SIGTERM cancels the context; in-flight jobs drain,
+// the exporter shuts down gracefully, and the session report prints.
+func runServe(dir, algoName string, workers int, check analysis.Level, addr string, interval time.Duration, rounds int, tracePath string) error {
+	algo, err := driver.ParseAlgo(algoName)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	batchJobs, err := collectJobs(dir, algo, out)
+	if err != nil {
+		out.Flush()
+		return err
+	}
+	rec, closeRec, err := buildRecorder(tracePath, true)
+	if err != nil {
+		out.Flush()
+		return err
+	}
+	srv, err := obshttp.Start(addr, rec)
+	if err != nil {
+		closeRec()
+		out.Flush()
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintf(out, "serving http://%s/metrics (%d jobs, algo %v); SIGINT/SIGTERM drains and exits\n",
+		srv.Addr(), len(batchJobs), algo)
+	out.Flush()
+
+	cfg := driver.Config{Algo: algo, Workers: workers, Check: check, Obs: rec}
+	rep := driver.Serve(ctx, batchJobs, cfg, driver.ServeOptions{
+		Interval: interval,
+		Rounds:   rounds,
+		OnRound: func(round int, snap *driver.Snapshot) {
+			fmt.Fprintf(out, "round %-4d functions %-4d errors %-3d skipped %-3d wall %v\n",
+				round, snap.Functions, snap.Errors, snap.Skipped, snap.Wall.Round(time.Microsecond))
+			out.Flush()
+		},
+	})
+	stop()
+
+	fmt.Fprintf(out, "served %d rounds: %d functions, %d errors, %d skipped in %v\n",
+		rep.Rounds, rep.Functions, rep.Errors, rep.Skipped, rep.Wall.Round(time.Millisecond))
+	err = srv.Stop(5 * time.Second)
+	if cerr := closeRec(); err == nil {
+		err = cerr
+	}
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("stdout: %w", ferr)
+	}
+	return err
 }

@@ -11,13 +11,15 @@
 //	experiments -scaling        # complexity scaling study only
 //	experiments -throughput     # batch-compilation throughput study
 //	experiments -audit          # checker-overhead study (internal/analysis)
-//	experiments -benchjson -o BENCH_3.json   # machine-readable perf baseline
+//	experiments -traceoverhead  # observability-overhead study (internal/obs)
+//	experiments -benchjson -o BENCH_4.json   # machine-readable perf baseline
 //	experiments -cpuprofile cpu.out -table 2 # pprof any study
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,9 +29,20 @@ import (
 	"fastcoalesce/internal/bench"
 	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/obs"
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// realMain returns every failure instead of exiting in place, so the
+// deferred profile writers below actually flush — an os.Exit anywhere in
+// a study used to abandon a half-written cpu/mem profile.
+func realMain() (err error) {
 	table := flag.Int("table", 0, "table to regenerate (1-5; 0 = all)")
 	repeat := flag.Int("repeat", 5, "timing repetitions (best-of)")
 	scaling := flag.Bool("scaling", false, "run the O(n α(n)) scaling study instead")
@@ -37,6 +50,7 @@ func main() {
 	alloc := flag.Int("alloc", 0, "run the register-allocation experiment with this many registers")
 	throughput := flag.Bool("throughput", false, "run the batch-compilation throughput study instead")
 	audit := flag.Bool("audit", false, "run the checker-overhead study instead")
+	traceOverhead := flag.Bool("traceoverhead", false, "run the observability-overhead study instead")
 	checkName := flag.String("check", "none", "audit level for driver-based studies: none | fast | full")
 	benchjson := flag.Bool("benchjson", false, "emit the machine-readable perf baseline (BENCH_*.json) instead")
 	label := flag.String("label", "BENCH_3", "baseline label recorded in the -benchjson report")
@@ -46,54 +60,60 @@ func main() {
 	flag.Parse()
 
 	level, err := analysis.ParseLevel(*checkName)
-	check(err)
+	if err != nil {
+		return err
+	}
 
 	if *cpuprofile != "" {
-		pf, err := os.Create(*cpuprofile)
-		check(err)
-		check(pprof.StartCPUProfile(pf))
+		pf, cerr := os.Create(*cpuprofile)
+		if cerr != nil {
+			return cerr
+		}
+		if cerr := pprof.StartCPUProfile(pf); cerr != nil {
+			pf.Close()
+			return cerr
+		}
 		defer func() {
 			pprof.StopCPUProfile()
-			check(pf.Close())
+			if cerr := pf.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("writing %s: %w", *cpuprofile, cerr)
+			}
 		}()
 	}
 	if *memprofile != "" {
 		defer func() {
-			pf, err := os.Create(*memprofile)
-			check(err)
-			runtime.GC()
-			check(pprof.WriteHeapProfile(pf))
-			check(pf.Close())
+			cerr := writeHeapProfile(*memprofile)
+			if err == nil && cerr != nil {
+				err = cerr
+			}
 		}()
 	}
 
-	if *benchjson {
-		runBenchJSON(*label, *repeat, *out)
-		return
-	}
-	if *scaling {
-		runScaling()
-		return
-	}
-	if *throughput {
-		runThroughput(*repeat, level)
-		return
-	}
-	if *audit {
-		runAudit(*repeat)
-		return
-	}
-	if *ext {
+	switch {
+	case *benchjson:
+		return runBenchJSON(*label, *repeat, *out)
+	case *scaling:
+		return runScaling()
+	case *throughput:
+		return runThroughput(*repeat, level)
+	case *audit:
+		return runAudit(*repeat)
+	case *traceOverhead:
+		return runTraceOverhead(*repeat)
+	case *ext:
 		rows, err := bench.TableExt(bench.Workloads())
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Println(bench.FormatTableExt(rows))
-		return
-	}
-	if *alloc > 0 {
+		return nil
+	case *alloc > 0:
 		rows, err := bench.TableAlloc(bench.Workloads(), *alloc)
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Println(bench.FormatTableAlloc(rows))
-		return
+		return nil
 	}
 
 	ws := bench.Workloads()
@@ -101,35 +121,63 @@ func main() {
 
 	if run(1) {
 		rows, err := bench.Table1(ws, *repeat)
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Println(bench.FormatTable1(rows))
 	}
 	if run(2) {
 		rows, err := bench.Table2(ws, *repeat)
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Println(bench.FormatTimedTable("Table 2: compilation time (SSA build through rewrite)", "seconds", rows))
 	}
 	if run(3) {
 		rows, err := bench.Table3(ws, *repeat)
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Println(bench.FormatTimedTable("Table 3: compiler memory (bytes allocated during conversion)", "bytes", rows))
 	}
 	if run(4) {
 		rows, err := bench.Table4(ws)
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Println(bench.FormatTimedTable("Table 4: dynamic copies executed", "copy instructions executed", rows))
 	}
 	if run(5) {
 		rows, err := bench.Table5(ws)
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Println(bench.FormatTimedTable("Table 5: static copies left in code", "copy instructions", rows))
 	}
+	return nil
+}
+
+// writeHeapProfile snapshots the heap into path after a GC.
+func writeHeapProfile(path string) error {
+	pf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(pf)
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
 }
 
 // runScaling compiles generated programs of growing size with New and
 // Briggs* and reports time per φ-argument: near-constant for New
 // (O(n α(n))), growing for the graph-based coalescer.
-func runScaling() {
+func runScaling() error {
 	fmt.Println("Scaling study: destruction-phase time vs program size (best of 3)")
 	fmt.Println("(phase time excludes SSA construction/liveness shared by all pipelines,")
 	fmt.Println(" matching the span of the paper's O(n α(n)) claim, §3.7)")
@@ -141,7 +189,9 @@ func runScaling() {
 			Stmts: stmts, MaxDepth: 4, Scalars: 3, Arrays: 2,
 		})
 		f, err := lang.CompileOne(w.Src)
-		check(err)
+		if err != nil {
+			return err
+		}
 		best := map[bench.Algo]time.Duration{}
 		var newAlgo time.Duration
 		var matrixB, matrixBStar int64
@@ -184,7 +234,9 @@ func runScaling() {
 			Stmts: stmts, MaxDepth: 4, Scalars: 3, Arrays: 2, SparseCopies: true,
 		})
 		f, err := lang.CompileOneWith(w.Src, lang.CompileOptions{SteerDestinations: true})
-		check(err)
+		if err != nil {
+			return err
+		}
 		rb := bench.RunPipeline(f, bench.Briggs)
 		rs := bench.RunPipeline(f, bench.BriggsStar)
 		b, s := rb.GraphStats.TotalMatrixBytes(), rs.GraphStats.TotalMatrixBytes()
@@ -193,6 +245,21 @@ func runScaling() {
 		}
 		fmt.Printf("%8d %12d %12d %10.0f\n", stmts, b, s, float64(b)/float64(s))
 	}
+	return nil
+}
+
+// studyJobs builds the shared compilation stream for the driver-based
+// studies: the kernel suite plus n generated functions.
+func studyJobs(n int64) []driver.Job {
+	var jobs []driver.Job
+	for _, w := range bench.Workloads() {
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
+	}
+	for seed := int64(0); seed < n; seed++ {
+		w := bench.Generate(seed, bench.GenConfig{Stmts: 120, MaxDepth: 4, Scalars: 3, Arrays: 2})
+		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
+	}
+	return jobs
 }
 
 // runThroughput measures batch-compilation throughput (functions per
@@ -201,17 +268,10 @@ func runScaling() {
 // beyond runtime.NumCPU() exercise the pool's oversubscription behavior
 // but cannot add speedup; the speedup column is only meaningful up to the
 // core count, which the header reports.
-func runThroughput(repeat int, level analysis.Level) {
-	// The compilation stream: the kernel suite plus generated functions,
-	// large enough that a batch takes a measurable time per worker count.
-	var jobs []driver.Job
-	for _, w := range bench.Workloads() {
-		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
-	}
-	for seed := int64(0); seed < 120; seed++ {
-		w := bench.Generate(seed, bench.GenConfig{Stmts: 120, MaxDepth: 4, Scalars: 3, Arrays: 2})
-		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
-	}
+func runThroughput(repeat int, level analysis.Level) error {
+	// The compilation stream: large enough that a batch takes a
+	// measurable time per worker count.
+	jobs := studyJobs(120)
 
 	ncpu := runtime.NumCPU()
 	fmt.Printf("Throughput study: %d functions per batch, New pipeline, best of %d\n", len(jobs), repeat)
@@ -231,9 +291,11 @@ func runThroughput(repeat int, level analysis.Level) {
 		for rep := 0; rep < repeat; rep++ {
 			results, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: workers, Check: level})
 			for _, r := range results {
-				check(r.Err)
+				if r.Err != nil {
+					return r.Err
+				}
 				if r.Report != nil && r.Report.Failed() {
-					check(fmt.Errorf("%s: audit findings:\n%s", r.Name, r.Report))
+					return fmt.Errorf("%s: audit findings:\n%s", r.Name, r.Report)
 				}
 			}
 			if best == nil || snap.Wall < best.Wall {
@@ -256,7 +318,9 @@ func runThroughput(repeat int, level analysis.Level) {
 	irJobs := make([]driver.Job, 0, len(jobs))
 	for _, j := range jobs {
 		f, err := lang.CompileOne(j.Src)
-		check(err)
+		if err != nil {
+			return err
+		}
 		irJobs = append(irJobs, driver.Job{Name: j.Name, Func: f})
 	}
 	cfg := driver.Config{Algo: driver.New, Workers: 1}
@@ -272,21 +336,15 @@ func runThroughput(repeat int, level analysis.Level) {
 	fmt.Println("\nBatch snapshot at the largest worker count:")
 	_, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: ladder[len(ladder)-1]})
 	fmt.Print(snap.Table())
+	return nil
 }
 
 // runAudit measures what the internal/analysis verification suite costs on
 // top of each pipeline: batch wall time unaudited, at the static level
 // (fast), and with translation validation (full). Workers is pinned to 1 so
 // the overhead is attributable to the checkers rather than scheduling.
-func runAudit(repeat int) {
-	var jobs []driver.Job
-	for _, w := range bench.Workloads() {
-		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
-	}
-	for seed := int64(0); seed < 60; seed++ {
-		w := bench.Generate(seed, bench.GenConfig{Stmts: 120, MaxDepth: 4, Scalars: 3, Arrays: 2})
-		jobs = append(jobs, driver.Job{Name: w.Name, Src: w.Src})
-	}
+func runAudit(repeat int) error {
+	jobs := studyJobs(60)
 
 	fmt.Printf("Checker-overhead study: %d functions per batch, workers=1, best of %d\n", len(jobs), repeat)
 	fmt.Println("(overhead = audited batch wall time / unaudited batch wall time)")
@@ -303,7 +361,9 @@ func runAudit(repeat int) {
 			for rep := 0; rep < repeat; rep++ {
 				results, snap := driver.Run(jobs, driver.Config{Algo: algo, Workers: 1, Check: lvl})
 				for _, r := range results {
-					check(r.Err)
+					if r.Err != nil {
+						return r.Err
+					}
 				}
 				if rep == 0 || snap.Wall < best {
 					best = snap.Wall
@@ -323,6 +383,59 @@ func runAudit(repeat int) {
 			float64(walls[analysis.Full])/float64(walls[analysis.None]),
 			findings)
 	}
+	return nil
+}
+
+// runTraceOverhead measures what the observability layer (internal/obs)
+// costs the batch, workers pinned to 1 for attribution: recorder off
+// (the production default), recorder live (per-phase histograms plus
+// ring-buffered events), and recorder streaming every span as JSONL.
+// The JSONL sink writes to io.Discard so the row isolates encoding cost
+// from disk latency. A fresh recorder per batch keeps rings comparable.
+func runTraceOverhead(repeat int) error {
+	jobs := studyJobs(60)
+
+	fmt.Printf("Trace-overhead study: %d functions per batch, New pipeline, workers=1, best of %d\n", len(jobs), repeat)
+	fmt.Println("(overhead = instrumented batch wall time / recorder-off batch wall time)")
+	fmt.Println()
+	fmt.Printf("%16s %14s %9s %10s\n", "config", "wall", "ovh", "events")
+
+	type config struct {
+		name string
+		mk   func() *obs.Recorder
+	}
+	configs := []config{
+		{"off", func() *obs.Recorder { return nil }},
+		{"recorder", func() *obs.Recorder { return obs.NewRecorder(obs.Options{}) }},
+		{"recorder+jsonl", func() *obs.Recorder { return obs.NewRecorder(obs.Options{Trace: io.Discard}) }},
+	}
+	base := time.Duration(0)
+	for _, c := range configs {
+		var best time.Duration
+		var events int64
+		for rep := 0; rep < repeat; rep++ {
+			rec := c.mk()
+			results, snap := driver.Run(jobs, driver.Config{Algo: driver.New, Workers: 1, Obs: rec})
+			for _, r := range results {
+				if r.Err != nil {
+					return r.Err
+				}
+			}
+			if rep == 0 || snap.Wall < best {
+				best = snap.Wall
+				events = int64(len(rec.Events())) + rec.Dropped()
+			}
+			if err := rec.Close(); err != nil {
+				return err
+			}
+		}
+		if base == 0 {
+			base = best
+		}
+		fmt.Printf("%16s %14v %8.2fx %10d\n",
+			c.name, best.Round(time.Microsecond), float64(best)/float64(base), events)
+	}
+	return nil
 }
 
 // runBenchJSON regenerates the committed performance baseline: the
@@ -331,22 +444,22 @@ func runAudit(repeat int) {
 // document. Committing the output (BENCH_<pr>.json) gives the repo a
 // perf trajectory reviewable across PRs; see EXPERIMENTS.md
 // "Performance baseline".
-func runBenchJSON(label string, repeat int, out string) {
+func runBenchJSON(label string, repeat int, out string) error {
 	rep, err := bench.RunBenchJSON(label, repeat)
-	check(err)
+	if err != nil {
+		return err
+	}
 	data, err := rep.MarshalIndent()
-	check(err)
+	if err != nil {
+		return err
+	}
 	if out == "" {
 		_, err = os.Stdout.Write(data)
 	} else {
 		err = os.WriteFile(out, data, 0o644)
 	}
-	check(err)
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err != nil && out != "" {
+		return fmt.Errorf("writing %s: %w", out, err)
 	}
+	return err
 }

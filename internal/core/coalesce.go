@@ -38,6 +38,7 @@ import (
 	"fastcoalesce/internal/domforest"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/liveness"
+	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/reuse"
 	"fastcoalesce/internal/ssa"
 	"fastcoalesce/internal/unionfind"
@@ -72,6 +73,12 @@ type Options struct {
 	// and each split/cut performed — a debugging aid.
 	Trace func(string)
 
+	// Obs, when non-nil, receives phase spans: dom and liveness from the
+	// analyses the algorithm consumes, coalesce-union for step 1,
+	// coalesce-forest and coalesce-local per step-2/3 round, and rewrite
+	// for step 4. A nil tracer costs nothing (nil-receiver no-ops).
+	Obs *obs.Tracer
+
 	// RecordNameMap makes Coalesce publish the final SSA-name → output-name
 	// mapping in Stats.NameMap, so an external auditor (internal/analysis)
 	// can check every congruence class against an independently built
@@ -102,6 +109,7 @@ type Stats struct {
 	ClassMembers   int    // members across those classes
 	CopiesInserted int    // copies materialized in step 4 (incl. temps)
 	TempsCreated   int    // cycle/terminator temporaries
+	LivenessVisits int    // block evaluations of the worklist liveness solver
 
 	// NameMap, filled when Options.RecordNameMap is set, maps every
 	// SSA-form VarID present before rewriting to the name it carries in
@@ -121,10 +129,10 @@ type Stats struct {
 // dominator scratch, the union-find forest, the per-variable indexes, and
 // the class/rewrite buffers. A warm Scratch makes the steady-state
 // conversion of same-sized functions allocation-free (copy
-// materialization aside) — the per-call maps the coalescer once kept are
-// all dense generation-stamped slices here, so "clearing" between runs
-// is a counter increment, not a sweep (see ARCHITECTURE.md, "The
-// epoch-stamped scratch idiom").
+// materialization aside): every piece of per-run bookkeeping is a dense
+// generation-stamped slice, so "clearing" between runs is a counter
+// increment, not a sweep (see ARCHITECTURE.md, "The epoch-stamped
+// scratch idiom").
 //
 // A Scratch belongs to one goroutine; the batch driver keeps one per
 // worker. The zero value is ready to use. A Scratch must not be copied
@@ -216,10 +224,14 @@ func CoalesceScratch(f *ir.Func, opt Options, sc *Scratch) *Stats {
 	t0 := time.Now()
 	c := newCoalescer(f, opt, sc)
 	t1 := time.Now()
-	c.unionPhiResources()   // step 1
-	c.materializeClasses()  //
+	opt.Obs.Begin(obs.PhaseCoalesce1)
+	c.unionPhiResources()  // step 1
+	c.materializeClasses() //
+	opt.Obs.End(obs.PhaseCoalesce1)
 	c.resolveInterference() // steps 2 and 3, to fixpoint
-	c.rewrite()             // step 4
+	opt.Obs.Begin(obs.PhaseRewrite)
+	c.rewrite() // step 4
+	opt.Obs.End(obs.PhaseRewrite)
 	// Slices that grew by append during the run flow back into sc.
 	sc.phis, sc.members, sc.dirty = c.phis, c.members, c.dirty
 	c.st.AnalysisTime = t1.Sub(t0)
@@ -262,8 +274,10 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 	nb := len(f.Blocks)
 	dt := opt.Dom
 	if dt == nil {
+		opt.Obs.Begin(obs.PhaseDom)
 		sc.dom.Recompute(f)
 		dt = &sc.dom
+		opt.Obs.End(obs.PhaseDom)
 	}
 	sc.defBlock = reuse.Slice(sc.defBlock, nv)
 	sc.defIdx = reuse.Slice(sc.defIdx, nv)
@@ -287,6 +301,10 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 	sc.via = reuse.Slice(sc.via, nv)
 	sc.viaGen = reuse.Slice(sc.viaGen, nv)
 	sc.st = Stats{}
+	opt.Obs.Begin(obs.PhaseLiveness)
+	live := liveness.ComputeScratch(f, &sc.live)
+	opt.Obs.End(obs.PhaseLiveness)
+	sc.st.LivenessVisits = sc.live.LastStats().Visits
 	c := &sc.co
 	*c = coalescer{
 		f:        f,
@@ -294,7 +312,7 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 		st:       &sc.st,
 		sc:       sc,
 		dt:       dt,
-		live:     liveness.ComputeScratch(f, &sc.live),
+		live:     live,
 		defBlock: sc.defBlock,
 		defIdx:   sc.defIdx,
 		isPhiDef: sc.isPhiDef,

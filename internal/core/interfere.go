@@ -3,6 +3,7 @@ package core
 import (
 	"fastcoalesce/internal/domforest"
 	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/reuse"
 	"fmt"
 )
@@ -31,6 +32,7 @@ func (c *coalescer) resolveInterference() {
 		c.st.Rounds++
 		splits := 0
 		localPairs := c.sc.pairs[:0]
+		c.opt.Obs.Begin(obs.PhaseCoalesce2)
 		for k := 0; k < len(c.members); k++ {
 			if !c.dirty[k] {
 				continue
@@ -38,7 +40,10 @@ func (c *coalescer) resolveInterference() {
 			c.dirty[k] = false
 			splits += c.stabilizeBoundary(int32(k), &localPairs)
 		}
+		c.opt.Obs.End(obs.PhaseCoalesce2)
+		c.opt.Obs.Begin(obs.PhaseCoalesce3)
 		splits += c.localPass(localPairs)
+		c.opt.Obs.End(obs.PhaseCoalesce3)
 		c.sc.pairs = localPairs[:0]
 		if splits == 0 {
 			break

@@ -1,8 +1,8 @@
 package core
 
 // Performance contracts of the coalescer: the warm-Scratch conversion of
-// a fully-coalescing function allocates nothing (the dense generation-
-// stamped scratch replaced every per-run map), and the two hottest
+// a fully-coalescing function allocates nothing (all per-run bookkeeping
+// lives in dense generation-stamped slices), and the two hottest
 // sub-passes — the §3.4 local pass and the φ-link min-cut — have
 // in-package micro-benchmarks that `go test -bench` and the committed
 // BENCH_*.json baseline both track.

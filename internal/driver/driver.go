@@ -15,11 +15,20 @@
 // to a slice slot indexed by job position, so the output order — and,
 // because every pipeline pass is deterministic, the output itself — is
 // byte-identical regardless of worker count.
+//
+// Observability is opt-in through Config.Obs (internal/obs): each worker
+// carries a phase tracer next to its Scratch, batch counters stream into
+// the recorder's registry as jobs finish, and Serve keeps the whole
+// engine running as a service a scraper can watch. With Obs nil the
+// instrumentation vanishes — nil tracers and nil instruments are free
+// no-ops, and the compiled output is byte-identical either way.
 package driver
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +38,7 @@ import (
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/ssa"
 )
 
@@ -103,6 +113,11 @@ type Result struct {
 	Err     error
 	Metrics FuncMetrics
 
+	// Skipped marks a job that was never compiled because the run's
+	// context was cancelled before a worker claimed it (RunCtx's drain
+	// semantics). Err then holds the context's error.
+	Skipped bool
+
 	// Report holds the audit findings when Config.Check is enabled (nil
 	// otherwise). A finding is not an Err: the pipeline produced output,
 	// but the checker disputes it — callers decide how hard to fail.
@@ -125,6 +140,13 @@ type Config struct {
 	// its name map, and the audit result lands in Result.Report and the
 	// Snapshot's check counters.
 	Check analysis.Level
+
+	// Obs, when non-nil, turns on observability: each worker gets a phase
+	// tracer next to its Scratch, and batch counters flow into the
+	// recorder's registry as jobs finish (so a mid-batch /metrics scrape
+	// sees live totals). A nil recorder costs nothing — the differential
+	// test in this package checks the output is byte-identical either way.
+	Obs *obs.Recorder
 }
 
 // Run compiles every job with cfg's pipeline across a worker pool and
@@ -132,35 +154,89 @@ type Config struct {
 // Snapshot. Individual job failures land in Result.Err; Run itself only
 // fails by returning those.
 func Run(jobs []Job, cfg Config) ([]Result, *Snapshot) {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return RunCtx(context.Background(), jobs, cfg)
+}
+
+// RunCtx is Run under a context. Cancellation drains rather than
+// aborts: jobs already claimed by a worker run to completion (a
+// half-rewritten function is useless), jobs not yet claimed come back
+// as Result{Skipped: true} with the context's error, and RunCtx still
+// returns the full result slice and Snapshot.
+func RunCtx(ctx context.Context, jobs []Job, cfg Config) ([]Result, *Snapshot) {
+	return runScratches(ctx, jobs, cfg, newScratches(cfg, workerCount(cfg, len(jobs))))
+}
+
+// workerCount resolves the pool size: Config.Workers, defaulting to
+// GOMAXPROCS, clamped to the job count and a floor of one.
+func workerCount(cfg Config, njobs int) int {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if w > njobs {
+		w = njobs
 	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// newScratches builds one Scratch per worker, each with its own tracer
+// when cfg.Obs is live. Serve reuses one set across rounds so long
+// sessions neither re-warm scratches nor accumulate tracer rings.
+func newScratches(cfg Config, workers int) []*Scratch {
+	scs := make([]*Scratch, workers)
+	for i := range scs {
+		scs[i] = &Scratch{cold: cfg.NoScratch, obs: cfg.Obs.Tracer()}
+	}
+	return scs
+}
+
+// runScratches is the shared engine behind RunCtx and Serve: one batch
+// over a fixed set of per-worker scratches (the pool size is len(scs)).
+func runScratches(ctx context.Context, jobs []Job, cfg Config, scs []*Scratch) ([]Result, *Snapshot) {
+	workers := len(scs)
+	cfg.Obs.NextGen() // one trace generation per batch
+	bm := newBatchMetrics(cfg)
+	bm.batches.Inc()
 	results := make([]Result, len(jobs))
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(sc *Scratch) {
 			defer wg.Done()
-			var sc *Scratch
-			if !cfg.NoScratch {
-				sc = &Scratch{}
-			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
+				if done != nil {
+					select {
+					case <-done:
+						// Drain: claimed jobs finish, unclaimed jobs are
+						// marked and the loop keeps claiming so every slot
+						// is stamped before the pool exits.
+						results[i] = Result{
+							Index: i, Name: jobs[i].Name,
+							Skipped: true, Err: context.Cause(ctx),
+						}
+						bm.skipped.Inc()
+						continue
+					default:
+					}
+				}
+				bm.inflight.Add(1)
 				results[i] = compileOne(i, jobs[i], cfg, sc)
+				bm.inflight.Add(-1)
+				bm.observe(&results[i])
 			}
-		}()
+		}(scs[w])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -169,11 +245,22 @@ func Run(jobs []Job, cfg Config) ([]Result, *Snapshot) {
 	return results, snap
 }
 
-// compileOne runs one job through the configured pipeline on the worker's
-// scratch (nil under Config.NoScratch).
+// compileOne runs one job through the configured pipeline on the
+// worker's scratch. The scratch also carries the worker's tracer; with
+// observability off (nil tracer) every span call below is a free no-op.
 func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
+	tr := sc.tracer()
+	if tr != nil {
+		name := j.Name
+		if name == "" {
+			name = "job-" + strconv.Itoa(idx)
+		}
+		tr.BeginJob(name)
+		defer tr.EndJob()
+	}
 	res := Result{Index: idx, Name: j.Name}
 	t0 := time.Now()
+	tr.Begin(obs.PhaseParse)
 	var f *ir.Func
 	var err error
 	switch {
@@ -184,6 +271,7 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 	default:
 		f, err = lang.CompileOne(j.Src)
 	}
+	tr.End(obs.PhaseParse)
 	if err != nil {
 		res.Err = err
 		return res
@@ -207,11 +295,12 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 		f.SplitCriticalEdges()
 		st = &ssa.Stats{}
 	} else {
-		st = ssa.Build(f, ssa.Options{Flavor: cfg.Flavor, FoldCopies: fold, Scratch: sc.ssaScratch()})
+		st = ssa.Build(f, ssa.Options{Flavor: cfg.Flavor, FoldCopies: fold, Scratch: sc.ssaScratch(), Obs: tr})
 	}
 	m.Build = time.Since(t1)
 	m.PhisInserted = st.PhisInserted
 	m.CopiesFolded = st.CopiesFolded
+	m.LivenessVisits = st.LivenessVisits
 
 	// The audit needs the SSA form as destruction saw it, and the name
 	// map the pipeline applied. Snapshotting is deliberately outside the
@@ -225,19 +314,22 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 	t2 := time.Now()
 	switch cfg.Algo {
 	case Standard:
+		tr.Begin(obs.PhasePhiInstantiate)
 		ds := ssa.DestructStandard(f)
+		tr.End(obs.PhasePhiInstantiate)
 		m.CopiesInserted = ds.CopiesInserted
 		// Standard never renames: the identity map (nil) is correct.
 	case New:
-		opt := core.Options{Dom: st.Dom, RecordNameMap: cfg.Check != analysis.None}
+		opt := core.Options{Dom: st.Dom, RecordNameMap: cfg.Check != analysis.None, Obs: tr}
 		var cs *core.Stats
-		if sc != nil {
-			cs = core.CoalesceScratch(f, opt, &sc.core)
+		if csc := sc.coreScratch(); csc != nil {
+			cs = core.CoalesceScratch(f, opt, csc)
 		} else {
 			cs = core.Coalesce(f, opt)
 		}
 		m.CopiesInserted = cs.CopiesInserted
 		m.CopiesCoalesced = cs.InitialUnions
+		m.LivenessVisits += cs.LivenessVisits
 		nameMap = cs.NameMap
 	case Briggs, BriggsStar:
 		joinMap := ifgraph.JoinPhiWebs(f)
@@ -264,7 +356,10 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 	m.Destruct = time.Since(t2)
 	m.StaticCopies = f.CountCopies()
 
-	if err := f.Verify(); err != nil {
+	tr.Begin(obs.PhaseVerify)
+	err = f.Verify()
+	tr.End(obs.PhaseVerify)
+	if err != nil {
 		res.Err = fmt.Errorf("%s: verify after %v: %w", res.Name, cfg.Algo, err)
 		return res
 	}
@@ -272,6 +367,7 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 
 	if cfg.Check != analysis.None {
 		t3 := time.Now()
+		tr.Begin(obs.PhaseCheck)
 		unit := &analysis.Unit{
 			Algo:    cfg.Algo.String(),
 			SSA:     ssaSnap,
@@ -279,6 +375,7 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 			NameMap: nameMap,
 		}
 		res.Report = analysis.RunAll(unit, cfg.Check)
+		tr.End(obs.PhaseCheck)
 		m.Check = time.Since(t3)
 		m.CheckFindings = len(res.Report.Diags)
 	}

@@ -19,6 +19,7 @@ type FuncMetrics struct {
 	CopiesCoalesced int // copies eliminated (unions / graph coalesces)
 	StaticCopies    int // copy instructions in the final code
 	CheckFindings   int // diagnostics reported by the audit
+	LivenessVisits  int // block evaluations by the worklist liveness solver
 }
 
 // Snapshot aggregates one batch run. Phase times are per-function spans
@@ -31,6 +32,7 @@ type Snapshot struct {
 	Workers   int
 	Functions int // jobs that compiled successfully
 	Errors    int
+	Skipped   int // jobs never claimed before the context was cancelled
 
 	Wall        time.Duration
 	FuncsPerSec float64
@@ -50,6 +52,7 @@ type Snapshot struct {
 	CopiesInserted  int64
 	CopiesCoalesced int64
 	StaticCopies    int64
+	LivenessVisits  int64
 }
 
 // summarize folds per-job results into a Snapshot.
@@ -65,6 +68,10 @@ func summarize(results []Result, algo Algo, workers int, wall time.Duration, all
 			s.Check += r.Metrics.Check
 			s.CheckFindings += int64(r.Metrics.CheckFindings)
 		}
+		if r.Skipped {
+			s.Skipped++
+			continue
+		}
 		if r.Err != nil {
 			s.Errors++
 			continue
@@ -79,6 +86,7 @@ func summarize(results []Result, algo Algo, workers int, wall time.Duration, all
 		s.CopiesInserted += int64(m.CopiesInserted)
 		s.CopiesCoalesced += int64(m.CopiesCoalesced)
 		s.StaticCopies += int64(m.StaticCopies)
+		s.LivenessVisits += int64(m.LivenessVisits)
 	}
 	if wall > 0 {
 		s.FuncsPerSec = float64(s.Functions) / wall.Seconds()
@@ -93,6 +101,9 @@ func (s *Snapshot) Table() string {
 	fmt.Fprintf(&b, "pipeline %-9s workers %-3d functions %d", s.Algo, s.Workers, s.Functions)
 	if s.Errors > 0 {
 		fmt.Fprintf(&b, " (%d errors)", s.Errors)
+	}
+	if s.Skipped > 0 {
+		fmt.Fprintf(&b, " (%d skipped)", s.Skipped)
 	}
 	b.WriteByte('\n')
 	perFunc := int64(0)

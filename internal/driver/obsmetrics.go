@@ -1,0 +1,58 @@
+package driver
+
+import "fastcoalesce/internal/obs"
+
+// batchMetrics are the registry instruments a batch bumps as jobs
+// finish, resolved once per run from Config.Obs. With observability off
+// every instrument is nil and every bump a free no-op, so the worker
+// loop needs no branches.
+type batchMetrics struct {
+	batches   *obs.Counter
+	jobs      *obs.Counter
+	errors    *obs.Counter
+	skipped   *obs.Counter
+	inflight  *obs.Gauge
+	inserted  *obs.Counter
+	coalesced *obs.Counter
+	visits    *obs.Counter
+	static    *obs.Histogram
+}
+
+func newBatchMetrics(cfg Config) batchMetrics {
+	reg := cfg.Obs.Registry()
+	algo := obs.L("algo", cfg.Algo.String())
+	return batchMetrics{
+		batches: reg.Counter("fastcoalesce_batches_total",
+			"Batch runs started.", algo),
+		jobs: reg.Counter("fastcoalesce_jobs_total",
+			"Jobs compiled (including failures).", algo),
+		errors: reg.Counter("fastcoalesce_job_errors_total",
+			"Jobs that failed to parse, convert, or verify.", algo),
+		skipped: reg.Counter("fastcoalesce_jobs_skipped_total",
+			"Jobs left uncompiled by a cancelled run (drain).", algo),
+		inflight: reg.Gauge("fastcoalesce_inflight_jobs",
+			"Jobs being compiled right now."),
+		inserted: reg.Counter("fastcoalesce_copies_inserted_total",
+			"Copies materialized by SSA destruction.", algo),
+		coalesced: reg.Counter("fastcoalesce_copies_coalesced_total",
+			"Copies eliminated (unions / graph coalesces).", algo),
+		visits: reg.Counter("fastcoalesce_liveness_visits_total",
+			"Block evaluations by the worklist liveness solver.", algo),
+		static: reg.Histogram("fastcoalesce_static_copies",
+			"Copy instructions left per compiled function.",
+			obs.Pow2Buckets(0, 12), algo),
+	}
+}
+
+// observe folds one finished (non-skipped) job into the instruments.
+func (m *batchMetrics) observe(r *Result) {
+	m.jobs.Inc()
+	if r.Err != nil {
+		m.errors.Inc()
+		return
+	}
+	m.inserted.Add(int64(r.Metrics.CopiesInserted))
+	m.coalesced.Add(int64(r.Metrics.CopiesCoalesced))
+	m.visits.Add(int64(r.Metrics.LivenessVisits))
+	m.static.Observe(int64(r.Metrics.StaticCopies))
+}

@@ -2,26 +2,53 @@ package driver
 
 import (
 	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/ssa"
 )
 
-// Scratch is one worker's reusable compilation memory: the SSA
-// construction scratch (liveness sets, dominator tree, φ worklists) and
-// the coalescer scratch (union-find forest, congruence classes, rewrite
-// buffers). A worker's second function of a given size allocates only a
-// small fraction of what the first did.
+// Scratch is one worker's per-goroutine state: the reusable compilation
+// memory — the SSA construction scratch (liveness sets, dominator tree,
+// φ worklists) and the coalescer scratch (union-find forest, congruence
+// classes, rewrite buffers) — plus the worker's phase tracer. A worker's
+// second function of a given size allocates only a small fraction of
+// what the first did.
 //
-// A Scratch belongs to one goroutine. A nil *Scratch is valid and means
-// "no reuse": every compile allocates cold.
+// A Scratch belongs to one goroutine. Under Config.NoScratch the
+// compilation memory is withheld from the passes (every compile
+// allocates cold) but the tracer still rides along, so the allocation
+// experiments and the trace-overhead study compose. A nil *Scratch is
+// also valid and means cold with no tracer.
 type Scratch struct {
+	cold bool        // Config.NoScratch: hand the passes nil scratches
+	obs  *obs.Tracer // per-worker tracer; nil when observability is off
+
 	ssa  ssa.Scratch
 	core core.Scratch
 }
 
-// ssaScratch returns the ssa.Build scratch, or nil for a nil receiver.
+// ssaScratch returns the ssa.Build scratch, or nil for a nil or cold
+// receiver.
 func (s *Scratch) ssaScratch() *ssa.Scratch {
-	if s == nil {
+	if s == nil || s.cold {
 		return nil
 	}
 	return &s.ssa
+}
+
+// coreScratch returns the coalescer scratch, or nil for a nil or cold
+// receiver.
+func (s *Scratch) coreScratch() *core.Scratch {
+	if s == nil || s.cold {
+		return nil
+	}
+	return &s.core
+}
+
+// tracer returns the worker's phase tracer (possibly nil — every tracer
+// method is a free no-op on nil).
+func (s *Scratch) tracer() *obs.Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.obs
 }

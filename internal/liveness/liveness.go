@@ -65,7 +65,23 @@ type Scratch struct {
 	queue  []ir.BlockID
 	queued []uint32
 	epoch  uint32
+
+	stats Stats
 }
+
+// Stats describes the work of the last Compute*Scratch call on this
+// Scratch — the observable behind the worklist solver's efficiency
+// claim. Visits/Blocks near 1.0 means most blocks reached their fixpoint
+// in one evaluation; the round-robin oracle reports sweeps × blocks. The
+// batch driver surfaces the totals as the
+// fastcoalesce_liveness_visits_total metric.
+type Stats struct {
+	Blocks int // reachable blocks seen by the run
+	Visits int // block evaluations until the fixpoint
+}
+
+// LastStats returns the statistics of the most recent computation.
+func (sc *Scratch) LastStats() Stats { return sc.stats }
 
 // Compute runs the worklist solver to fixpoint. The returned Info is
 // freshly allocated and owned by the caller.
@@ -126,8 +142,10 @@ func ComputeScratch(f *ir.Func, sc *Scratch) *Info {
 		tail++
 	}
 
+	sc.stats = Stats{Blocks: len(order)}
 	tmp := sc.arena.New(nv)
 	for head != tail {
+		sc.stats.Visits++
 		bid := queue[head]
 		head++
 		if head == len(queue) {
@@ -171,10 +189,12 @@ func ComputeRoundRobin(f *ir.Func) *Info {
 func ComputeRoundRobinScratch(f *ir.Func, sc *Scratch) *Info {
 	li, order := sc.prepare(f)
 	nv := f.NumVars()
+	sc.stats = Stats{Blocks: len(order)}
 	tmp := sc.arena.New(nv)
 	for changed := true; changed; {
 		changed = false
 		for _, bid := range order {
+			sc.stats.Visits++
 			bi := int(bid)
 			b := f.Blocks[bi]
 			out := li.Out[bi]

@@ -1,0 +1,62 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+
+	"fastcoalesce/internal/obs"
+)
+
+// ExampleRecorder traces two phases of one job and prints the resulting
+// timeline. In the real pipeline the batch driver calls Begin/End around
+// each compilation phase; a nil *Recorder (observability off) makes
+// every call here a free no-op.
+func ExampleRecorder() {
+	rec := obs.NewRecorder(obs.Options{})
+	rec.NextGen() // one generation per batch
+
+	tr := rec.Tracer() // one per worker goroutine
+	tr.BeginJob("gcd")
+	tr.Begin(obs.PhaseLiveness)
+	tr.End(obs.PhaseLiveness)
+	tr.Begin(obs.PhaseRewrite)
+	tr.End(obs.PhaseRewrite)
+	tr.EndJob()
+
+	for _, e := range rec.Events() {
+		fmt.Printf("gen=%d worker=%d job=%s phase=%s\n",
+			e.Gen, e.Worker, rec.JobName(e.Job), e.Phase)
+	}
+	// Output:
+	// gen=1 worker=0 job=gcd phase=job
+	// gen=1 worker=0 job=gcd phase=liveness
+	// gen=1 worker=0 job=gcd phase=rewrite
+}
+
+// ExampleRegistry_prometheus registers the three instrument kinds and
+// renders the Prometheus text exposition that /metrics serves.
+func ExampleRegistry_prometheus() {
+	reg := obs.NewRegistry()
+	reg.Counter("jobs_total", "Functions compiled.", obs.L("algo", "New")).Add(3)
+	reg.Gauge("inflight", "Jobs being compiled now.").Set(1)
+	h := reg.Histogram("copies", "Static copies per function.", []int64{1, 4, 16})
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(40)
+	reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # HELP copies Static copies per function.
+	// # TYPE copies histogram
+	// copies_bucket{le="1"} 0
+	// copies_bucket{le="4"} 2
+	// copies_bucket{le="16"} 2
+	// copies_bucket{le="+Inf"} 3
+	// copies_sum 45
+	// copies_count 3
+	// # HELP inflight Jobs being compiled now.
+	// # TYPE inflight gauge
+	// inflight 1
+	// # HELP jobs_total Functions compiled.
+	// # TYPE jobs_total counter
+	// jobs_total{algo="New"} 3
+}

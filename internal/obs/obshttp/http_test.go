@@ -1,0 +1,136 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fastcoalesce/internal/obs"
+)
+
+func newTestRecorder() *obs.Recorder {
+	rec := obs.NewRecorder(obs.Options{})
+	rec.NextGen()
+	rec.Registry().Counter("fastcoalesce_jobs_total", "Jobs.").Add(5)
+	tr := rec.Tracer()
+	tr.BeginJob("k.kl:main")
+	tr.Begin(obs.PhaseLiveness)
+	tr.End(obs.PhaseLiveness)
+	tr.EndJob()
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	res := w.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res.StatusCode, string(body), res.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := Handler(newTestRecorder())
+	code, body, hdr := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"fastcoalesce_jobs_total 5",
+		`fastcoalesce_phase_duration_ns_count{phase="liveness"} 1`,
+		`fastcoalesce_phase_duration_ns_bucket{phase="liveness",le="+Inf"} 1`,
+		"# TYPE fastcoalesce_phase_duration_ns histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics body missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	code, body, _ := get(t, Handler(newTestRecorder()), "/debug/vars")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var v struct {
+		MemStats struct {
+			TotalAlloc uint64 `json:"total_alloc"`
+		} `json:"memstats"`
+		Generation uint32         `json:"generation"`
+		Metrics    map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if v.MemStats.TotalAlloc == 0 || v.Generation != 1 {
+		t.Errorf("memstats/generation missing: %s", body)
+	}
+	if v.Metrics["fastcoalesce_jobs_total"] != 5.0 {
+		t.Errorf("metrics object missing jobs counter: %v", v.Metrics)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	code, body, _ := get(t, Handler(newTestRecorder()), "/trace")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2:\n%s", len(lines), body)
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("trace line not JSON: %v: %s", err, ln)
+		}
+		if m["job"] != "k.kl:main" {
+			t.Errorf("trace line job = %v", m["job"])
+		}
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	h := Handler(newTestRecorder())
+	if code, body, _ := get(t, h, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+	if code, body, _ := get(t, h, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index page: status %d, body %q", code, body)
+	}
+	if code, _, _ := get(t, h, "/nope"); code != 404 {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}
+
+// TestServerStartStop binds a real listener on a free port, scrapes it,
+// and shuts down gracefully.
+func TestServerStartStop(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", newTestRecorder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "fastcoalesce_jobs_total 5") {
+		t.Errorf("live scrape missing counter:\n%s", body)
+	}
+	if err := srv.Stop(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Stop")
+	}
+}

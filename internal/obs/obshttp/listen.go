@@ -1,0 +1,29 @@
+package obshttp
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// newListener binds srv.Addr (":0" picks a free port) and writes the
+// resolved address back into srv.Addr so Server.Addr reports it.
+func newListener(srv *http.Server) (net.Listener, error) {
+	addr := srv.Addr
+	if addr == "" {
+		addr = ":8080"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv.Addr = ln.Addr().String()
+	return ln, nil
+}
+
+// timeoutContext is context.WithTimeout, indirected so Stop has no other
+// reason to import context at call sites.
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}

@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (a Prometheus label pair).
+type Label struct {
+	K, V string
+}
+
+// L builds a Label; it keeps call sites short.
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+// Counter is a monotonically increasing int64. Methods are atomic and
+// safe on a nil receiver (the "registry off" case).
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64. Methods are atomic and nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (useful for in-flight counts).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed log-scale buckets. The bounds
+// are upper-inclusive (Prometheus "le" semantics); one implicit +Inf
+// bucket catches the rest. Observe is one binary search plus two atomic
+// adds — no allocation, safe concurrently, nil-safe.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	total  atomic.Int64
+}
+
+// Pow2Buckets returns n doubling bucket bounds starting at 1<<lo — the
+// fixed log-scale shape every duration histogram here uses. (With lo=10,
+// n=22: 1 µs up to ~2.1 s when observing nanoseconds.)
+func Pow2Buckets(lo, n int) []int64 {
+	b := make([]int64, n)
+	for i := range b {
+		b[i] = 1 << (lo + i)
+	}
+	return b
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Smallest bound with v <= bound; len(bounds) means +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// metric is one registered instrument plus its identity.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named instruments and renders them. Get-or-create
+// methods are idempotent: the same (name, labels) returns the same
+// instrument, so callers re-resolve cheaply per batch and hold the
+// pointer for per-job atomic updates. All methods are safe on a nil
+// receiver, returning nil instruments whose methods are no-ops — the
+// whole metrics path costs nothing when observability is off.
+type Registry struct {
+	mu   sync.Mutex
+	by   map[string]*metric
+	list []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]*metric)}
+}
+
+func key(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.K)
+		b.WriteByte(1)
+		b.WriteString(l.V)
+	}
+	return b.String()
+}
+
+// lookup finds or registers (name, labels), enforcing one kind per
+// series. Label order is normalized by key sort so equivalent label sets
+// hit the same series.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *metric {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].K < ls[j].K })
+	k := key(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.by[k]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %v (was %v)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, labels: ls, kind: kind}
+	r.by[k] = m
+	r.list = append(r.list, m)
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. On a nil registry it returns nil (a valid no-op counter).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindCounter, labels)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindGauge, labels)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given bucket bounds (ascending) on first use. Bounds are fixed at
+// creation; later calls for the same series ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindHistogram, labels)
+	if m.h == nil {
+		m.h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return m.h
+}
+
+// snapshot returns the metrics sorted by name then label signature, for
+// deterministic rendering.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := append([]*metric(nil), r.list...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return key("", out[i].labels) < key("", out[j].labels)
+	})
+	return out
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text format
+// (backslash and line feed).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, line feed, double
+// quote).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// renderLabels renders {k="v",...}; extra, when non-empty, is appended
+// last (used for the histogram "le" label). Empty sets render as "".
+func renderLabels(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range append(append([]Label(nil), labels...), extra...) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.V))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE once per metric name,
+// histograms as cumulative le-buckets plus _sum and _count. Output is
+// deterministic (sorted by name, then labels). Safe on a nil registry
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	prev := ""
+	for _, m := range r.snapshot() {
+		if m.name != prev {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			prev = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, renderLabels(m.labels), m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, renderLabels(m.labels), m.g.Value())
+		case kindHistogram:
+			cum := int64(0)
+			for i, bound := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name,
+					renderLabels(m.labels, L("le", strconv.FormatInt(bound, 10))), cum)
+			}
+			cum += m.h.counts[len(m.h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, L("le", "+Inf")), cum)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", m.name, renderLabels(m.labels), m.h.Sum())
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, renderLabels(m.labels), m.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders every instrument as one JSON object keyed by
+// "name{labels}" — the /debug/vars body. Histograms render as
+// {"count":…,"sum":…,"le":{bound:count,…}} with non-cumulative bucket
+// counts. Deterministic ordering (object keys sorted like
+// WritePrometheus).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("{")
+	for i, m := range r.snapshot() {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n  %s: ", strconv.Quote(m.name+renderLabels(m.labels)))
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%d", m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%d", m.g.Value())
+		case kindHistogram:
+			fmt.Fprintf(&b, `{"count": %d, "sum": %d, "le": {`, m.h.Count(), m.h.Sum())
+			wrote := false
+			for j := range m.h.counts {
+				n := m.h.counts[j].Load()
+				if n == 0 {
+					continue
+				}
+				if wrote {
+					b.WriteString(", ")
+				}
+				wrote = true
+				bound := "+Inf"
+				if j < len(m.h.bounds) {
+					bound = strconv.FormatInt(m.h.bounds[j], 10)
+				}
+				fmt.Fprintf(&b, "%s: %d", strconv.Quote(bound), n)
+			}
+			b.WriteString("}}")
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

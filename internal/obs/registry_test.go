@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus is the table-driven rendering contract: text
+// format, escaping rules, and histogram bucket cumulativity.
+func TestWritePrometheus(t *testing.T) {
+	tests := []struct {
+		name string
+		fill func(r *Registry)
+		want string
+	}{
+		{
+			name: "counter plain",
+			fill: func(r *Registry) {
+				r.Counter("jobs_total", "Jobs compiled.").Add(7)
+			},
+			want: "# HELP jobs_total Jobs compiled.\n" +
+				"# TYPE jobs_total counter\n" +
+				"jobs_total 7\n",
+		},
+		{
+			name: "gauge with labels sorted by key",
+			fill: func(r *Registry) {
+				r.Gauge("inflight", "In-flight jobs.", L("worker", "3"), L("algo", "New")).Set(2)
+			},
+			want: "# HELP inflight In-flight jobs.\n" +
+				"# TYPE inflight gauge\n" +
+				`inflight{algo="New",worker="3"} 2` + "\n",
+		},
+		{
+			name: "label value escaping",
+			fill: func(r *Registry) {
+				r.Counter("errs_total", "Errors.", L("msg", "a\"b\\c\nd")).Inc()
+			},
+			want: "# HELP errs_total Errors.\n" +
+				"# TYPE errs_total counter\n" +
+				`errs_total{msg="a\"b\\c\nd"} 1` + "\n",
+		},
+		{
+			name: "help escaping keeps quotes, escapes backslash and newline",
+			fill: func(r *Registry) {
+				r.Counter("x", "line\\one\nline \"two\"").Inc()
+			},
+			want: `# HELP x line\\one\nline "two"` + "\n" +
+				"# TYPE x counter\n" +
+				"x 1\n",
+		},
+		{
+			name: "histogram buckets are cumulative and end at +Inf",
+			fill: func(r *Registry) {
+				h := r.Histogram("dur", "Durations.", []int64{1, 2, 4, 8})
+				for _, v := range []int64{1, 1, 2, 3, 9, 100} {
+					h.Observe(v)
+				}
+			},
+			want: "# HELP dur Durations.\n" +
+				"# TYPE dur histogram\n" +
+				`dur_bucket{le="1"} 2` + "\n" +
+				`dur_bucket{le="2"} 3` + "\n" +
+				`dur_bucket{le="4"} 4` + "\n" +
+				`dur_bucket{le="8"} 4` + "\n" +
+				`dur_bucket{le="+Inf"} 6` + "\n" +
+				"dur_sum 116\n" +
+				"dur_count 6\n",
+		},
+		{
+			name: "histogram with labels threads le last",
+			fill: func(r *Registry) {
+				r.Histogram("dur", "D.", []int64{10}, L("phase", "dom")).Observe(3)
+			},
+			want: "# HELP dur D.\n" +
+				"# TYPE dur histogram\n" +
+				`dur_bucket{phase="dom",le="10"} 1` + "\n" +
+				`dur_bucket{phase="dom",le="+Inf"} 1` + "\n" +
+				`dur_sum{phase="dom"} 3` + "\n" +
+				`dur_count{phase="dom"} 1` + "\n",
+		},
+		{
+			name: "metrics sort by name, HELP/TYPE once per name",
+			fill: func(r *Registry) {
+				r.Counter("z_total", "Z.", L("a", "1")).Inc()
+				r.Counter("a_total", "A.").Inc()
+				r.Counter("z_total", "Z.", L("a", "0")).Add(2)
+			},
+			want: "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n" +
+				"# HELP z_total Z.\n# TYPE z_total counter\n" +
+				`z_total{a="0"} 2` + "\n" +
+				`z_total{a="1"} 1` + "\n",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.fill(r)
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			if got := b.String(); got != tc.want {
+				t.Errorf("rendering mismatch\n got:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "help", L("k", "v"))
+	b := r.Counter("c", "ignored on re-get", L("k", "v"))
+	if a != b {
+		t.Error("same (name, labels) should return the same counter")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("g", "h", L("a", "1"), L("b", "2"))
+	g2 := r.Gauge("g", "h", L("b", "2"), L("a", "1"))
+	if g1 != g2 {
+		t.Error("label order changed series identity")
+	}
+	// Same name, different labels: distinct series.
+	if r.Counter("c", "h", L("k", "w")) == a {
+		t.Error("different label values should make a new series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("c", "h", L("k", "v"))
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", Pow2Buckets(0, 4))
+	c.Add(3)
+	c.Inc()
+	g.Set(9)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must stay zero")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry rendered %q, err %v", b.String(), err)
+	}
+}
+
+func TestPow2Buckets(t *testing.T) {
+	got := Pow2Buckets(3, 4)
+	want := []int64{8, 16, 32, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pow2Buckets(3,4) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs", "").Add(4)
+	h := r.Histogram("d", "", []int64{2, 8})
+	h.Observe(1)
+	h.Observe(100)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n" +
+		`  "d": {"count": 2, "sum": 101, "le": {"2": 1, "+Inf": 1}},` + "\n" +
+		`  "jobs": 4` + "\n}\n"
+	if b.String() != want {
+		t.Errorf("JSON mismatch\n got: %q\nwant: %q", b.String(), want)
+	}
+}

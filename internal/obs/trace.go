@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceWriter streams completed spans as JSON Lines: one object per
+// span, fields gen/worker/job/phase/start_us/dur_us. It buffers writes
+// and remembers the first error; Close flushes and reports it. Lines are
+// built with strconv into a reused buffer, so steady-state writing does
+// not allocate (the underlying writer's own behavior aside).
+//
+// Concurrency: WriteEvent is serialized by an internal mutex — tracers
+// on different workers share one TraceWriter.
+type TraceWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewTraceWriter wraps w. The caller keeps ownership of w (closing a
+// file, for instance) but must call Close first to flush.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteEvent appends one span line. After the first write error the
+// writer goes quiet and keeps the error for Close.
+func (tw *TraceWriter) WriteEvent(e Event, job string) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.err != nil {
+		return
+	}
+	b := tw.buf[:0]
+	b = append(b, `{"gen":`...)
+	b = strconv.AppendUint(b, uint64(e.Gen), 10)
+	b = append(b, `,"worker":`...)
+	b = strconv.AppendInt(b, int64(e.Worker), 10)
+	if job != "" {
+		b = append(b, `,"job":`...)
+		b = strconv.AppendQuote(b, job)
+	}
+	b = append(b, `,"phase":"`...)
+	b = append(b, e.Phase.String()...)
+	b = append(b, `","start_us":`...)
+	b = appendMicros(b, e.Start)
+	b = append(b, `,"dur_us":`...)
+	b = appendMicros(b, e.Dur)
+	b = append(b, '}', '\n')
+	tw.buf = b
+	if _, err := tw.bw.Write(b); err != nil {
+		tw.err = err
+	}
+}
+
+// appendMicros renders d as decimal microseconds with three fractional
+// digits (nanosecond resolution).
+func appendMicros(b []byte, d time.Duration) []byte {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		b = append(b, '-')
+		ns = -ns
+	}
+	b = strconv.AppendInt(b, ns/1000, 10)
+	frac := ns % 1000
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+// Err returns the first write error seen so far.
+func (tw *TraceWriter) Err() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.err
+}
+
+// Close flushes the buffer and returns the first error from any write or
+// the flush itself.
+func (tw *TraceWriter) Close() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if err := tw.bw.Flush(); err != nil && tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceWriterJSONL(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb)
+	tw.WriteEvent(Event{
+		Gen: 2, Worker: 1, Job: 0, Phase: PhaseLiveness,
+		Start: 1500 * time.Nanosecond, Dur: 2 * time.Microsecond,
+	}, "kernel.kl:main")
+	tw.WriteEvent(Event{Phase: PhaseRewrite, Job: -1, Dur: 10250 * time.Nanosecond}, "")
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	want0 := `{"gen":2,"worker":1,"job":"kernel.kl:main","phase":"liveness","start_us":1.500,"dur_us":2.000}`
+	if lines[0] != want0 {
+		t.Errorf("line 0:\n got %s\nwant %s", lines[0], want0)
+	}
+	// No job name → no job field; every line must stay valid JSON.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if _, has := m["job"]; has {
+		t.Error("jobless event rendered a job field")
+	}
+	if m["dur_us"] != 10.250 {
+		t.Errorf("dur_us = %v, want 10.25", m["dur_us"])
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+func TestTraceWriterKeepsFirstError(t *testing.T) {
+	boom := errors.New("disk full")
+	tw := NewTraceWriter(&failWriter{err: boom})
+	// Overflow the 64 KiB buffer so the underlying writer is hit.
+	for i := 0; i < 2000; i++ {
+		tw.WriteEvent(Event{Phase: PhaseParse, Job: -1}, strings.Repeat("x", 100))
+	}
+	if err := tw.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want the first write error", err)
+	}
+	if err := tw.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want the first write error", err)
+	}
+}

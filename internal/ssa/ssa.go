@@ -15,6 +15,7 @@ import (
 	"fastcoalesce/internal/dom"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/liveness"
+	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/reuse"
 )
 
@@ -55,6 +56,10 @@ type Options struct {
 	// Scratch, when non-nil, supplies reusable construction memory. The
 	// resulting SSA form is identical; only allocation behavior differs.
 	Scratch *Scratch
+
+	// Obs, when non-nil, receives phase spans (liveness, dom, ssa-build).
+	// A nil tracer costs nothing: every method is a nil-receiver no-op.
+	Obs *obs.Tracer
 }
 
 // Scratch holds the reusable state of one Build: the liveness and
@@ -92,6 +97,10 @@ type Stats struct {
 	EdgesSplit    int
 	SSAVars       int // total variables after renaming
 
+	// LivenessVisits is the number of block evaluations the worklist
+	// liveness solver performed (liveness.Stats.Visits).
+	LivenessVisits int
+
 	// Dom is the dominator tree computed during construction. The CFG is
 	// not changed after the up-front critical-edge split, so destruction
 	// passes (e.g. core.Coalesce) may reuse it.
@@ -116,14 +125,20 @@ func Build(f *ir.Func, opt Options) *Stats {
 	// One liveness computation serves both strictness enforcement and
 	// pruned φ placement: the entry initializations only add definitions
 	// at the entry, which cannot extend any block's live-in set.
+	opt.Obs.Begin(obs.PhaseLiveness)
 	live := liveness.ComputeScratch(f, &sc.live)
+	opt.Obs.End(obs.PhaseLiveness)
+	st.LivenessVisits = sc.live.LastStats().Visits
 	st.InitsInserted = enforceStrict(f, live)
 
+	opt.Obs.Begin(obs.PhaseDom)
 	sc.dom.Recompute(f)
 	dt := &sc.dom
 	st.Dom = dt
 	sc.df, sc.inDF = dt.FrontiersInto(sc.df, sc.inDF)
 	df := sc.df
+	opt.Obs.End(obs.PhaseDom)
+	opt.Obs.Begin(obs.PhaseSSABuild)
 
 	nv := f.NumVars()
 	nb := len(f.Blocks)
@@ -231,6 +246,7 @@ func Build(f *ir.Func, opt Options) *Stats {
 	compactDeleted(f)
 	st.SSAVars = f.NumVars()
 	f.IsSSA = true
+	opt.Obs.End(obs.PhaseSSABuild)
 	return st
 }
 
