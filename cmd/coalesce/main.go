@@ -22,9 +22,13 @@
 //	-batch    compile every .kl/.ir file under a directory concurrently
 //	-jobs     worker count for -batch (default: one per CPU)
 //	-trace    write a JSONL phase trace of the batch to this file
-//	-serve    address for the monitored service mode: re-run the -batch jobs
-//	          round after round while serving /metrics, /debug/vars, /trace,
-//	          and /debug/pprof until SIGINT/SIGTERM (then drain and exit)
+//	-cachemb  content-addressed result cache budget in MiB for -batch and
+//	          -serve (0 = off); with -check, hits are revalidated
+//	-serve    address for the monitored service mode: replay the -batch
+//	          jobs round after round while serving /metrics, /debug/vars,
+//	          /trace, and /debug/pprof until SIGINT/SIGTERM (then drain and
+//	          exit); with -cachemb every round after the first is answered
+//	          from the result cache, so the load becomes the warm-hit path
 //	-interval pause between -serve rounds (default 1s)
 //	-rounds   stop -serve after this many rounds (0 = until a signal)
 package main
@@ -45,6 +49,7 @@ import (
 	"time"
 
 	"fastcoalesce/internal/analysis"
+	"fastcoalesce/internal/cache"
 	"fastcoalesce/internal/core"
 	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/ifgraph"
@@ -78,7 +83,8 @@ func realMain() error {
 	batch := flag.String("batch", "", "compile every .kl/.ir file under this directory through the batch driver")
 	jobs := flag.Int("jobs", 0, "worker count for -batch (0 = one per CPU)")
 	trace := flag.String("trace", "", "write a JSONL phase trace of the batch to this file")
-	serve := flag.String("serve", "", "monitored service mode: serve /metrics etc. on this address while re-running the -batch jobs")
+	cachemb := flag.Int("cachemb", 0, "result cache budget in MiB for -batch/-serve (0 = off)")
+	serve := flag.String("serve", "", "monitored service mode: serve /metrics etc. on this address while replaying the -batch jobs (cache-aware with -cachemb)")
 	interval := flag.Duration("interval", time.Second, "pause between -serve rounds")
 	rounds := flag.Int("rounds", 0, "stop -serve after this many rounds (0 = until SIGINT/SIGTERM)")
 	flag.Parse()
@@ -92,10 +98,13 @@ func realMain() error {
 		if *batch == "" {
 			return fmt.Errorf("-serve needs -batch <dir> to know what to compile")
 		}
-		return runServe(*batch, *algo, *jobs, check, *serve, *interval, *rounds, *trace)
+		return runServe(*batch, *algo, *jobs, check, *cachemb, *serve, *interval, *rounds, *trace)
 	}
 	if *batch != "" {
-		return runBatch(*batch, *algo, *jobs, *stats, check, *trace)
+		return runBatch(*batch, *algo, *jobs, *stats, check, *cachemb, *trace)
+	}
+	if *cachemb != 0 {
+		return fmt.Errorf("-cachemb applies to -batch and -serve modes")
 	}
 	if *trace != "" {
 		return fmt.Errorf("-trace applies to -batch and -serve modes")
@@ -382,10 +391,20 @@ func buildRecorder(tracePath string, force bool) (*obs.Recorder, func() error, e
 	return rec, closeFn, nil
 }
 
+// buildCache builds the content-addressed result cache for -cachemb,
+// registering its metrics when a recorder is live. cachemb <= 0 means
+// off (a nil cache misses for free).
+func buildCache(cachemb int, rec *obs.Recorder) *cache.Cache {
+	if cachemb <= 0 {
+		return nil
+	}
+	return cache.New(cache.Config{MaxBytes: int64(cachemb) << 20, Reg: rec.Registry()})
+}
+
 // runBatch compiles every .kl/.ir file under dir through the concurrent
 // batch driver, prints one summary line per function in deterministic
 // (path) order, and finishes with the batch metrics table.
-func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level, tracePath string) error {
+func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level, cachemb int, tracePath string) error {
 	algo, err := driver.ParseAlgo(algoName)
 	if err != nil {
 		return err
@@ -402,7 +421,10 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 		return err
 	}
 
-	results, snap := driver.Run(batchJobs, driver.Config{Algo: algo, Workers: workers, Check: check, Obs: rec})
+	results, snap := driver.Run(batchJobs, driver.Config{
+		Algo: algo, Workers: workers, Check: check, Obs: rec,
+		Cache: buildCache(cachemb, rec), Revalidate: check != analysis.None,
+	})
 	bad, findings := 0, 0
 	for _, r := range results {
 		if r.Err != nil {
@@ -435,12 +457,16 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 	return nil
 }
 
-// runServe is the monitored service mode: it re-runs the batch round
+// runServe is the monitored service mode: it replays the batch round
 // after round through driver.Serve while an HTTP exporter serves
 // /metrics, /debug/vars, /trace, and /debug/pprof from the same
-// recorder. SIGINT/SIGTERM cancels the context; in-flight jobs drain,
-// the exporter shuts down gracefully, and the session report prints.
-func runServe(dir, algoName string, workers int, check analysis.Level, addr string, interval time.Duration, rounds int, tracePath string) error {
+// recorder. With -cachemb the first round fills the content-addressed
+// cache and every later round is answered from it, so a scraper watches
+// the warm-hit path under sustained load; without it each round
+// recompiles from scratch. SIGINT/SIGTERM cancels the context;
+// in-flight jobs drain, the exporter shuts down gracefully, and the
+// session report prints.
+func runServe(dir, algoName string, workers int, check analysis.Level, cachemb int, addr string, interval time.Duration, rounds int, tracePath string) error {
 	algo, err := driver.ParseAlgo(algoName)
 	if err != nil {
 		return err
@@ -468,7 +494,10 @@ func runServe(dir, algoName string, workers int, check analysis.Level, addr stri
 		srv.Addr(), len(batchJobs), algo)
 	out.Flush()
 
-	cfg := driver.Config{Algo: algo, Workers: workers, Check: check, Obs: rec}
+	cfg := driver.Config{
+		Algo: algo, Workers: workers, Check: check, Obs: rec,
+		Cache: buildCache(cachemb, rec), Revalidate: check != analysis.None,
+	}
 	rep := driver.Serve(ctx, batchJobs, cfg, driver.ServeOptions{
 		Interval: interval,
 		Rounds:   rounds,

@@ -57,6 +57,8 @@ type BenchReport struct {
 	Workloads []BenchEntry   `json:"workloads"`
 	Micro     []BenchEntry   `json:"micro"`
 	Scaling   []ScalingEntry `json:"scaling"`
+	Cache     []BenchEntry   `json:"cache,omitempty"` // result-cache off/fill/hit batch costs
+	Serve     []BenchEntry   `json:"serve,omitempty"` // warm shard-pool submit floor per shard count
 }
 
 // measureSpan runs body n times and returns per-op time, allocation
@@ -289,6 +291,16 @@ func RunBenchJSON(label string, repeat int) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Scaling = scaling
+	cacheB, err := cacheEntries()
+	if err != nil {
+		return nil, err
+	}
+	rep.Cache = cacheB
+	serveB, err := serveEntries()
+	if err != nil {
+		return nil, err
+	}
+	rep.Serve = serveB
 	return rep, nil
 }
 

@@ -1,0 +1,346 @@
+// Package cache is the content-addressed compile cache: a sharded,
+// size-bounded LRU store mapping the hash of a function's canonical IR
+// text (plus a pipeline fingerprint) to its compiled result. Production
+// traffic for a coalescing service is dominated by repeated functions,
+// and every pipeline in this repository is a pure function of its input
+// IR — the same canonical text under the same configuration always
+// yields byte-identical output (the driver's determinism tests pin
+// this) — so caching is semantically safe and the cheap path is "don't
+// recompute at all".
+//
+// Keys are computed by the caller (cache.Sum over the canonical bytes
+// produced by ir.Func.AppendText, with the configuration fingerprint
+// prepended), so the package never parses or prints IR itself and the
+// hot lookup path stays allocation-free: one SHA-256 over a reused
+// buffer, one shard index, one map probe under a short per-shard lock.
+//
+// Concurrency and eviction safety: entries are immutable after Put.
+// Get and Put on different shards never contend; within a shard a
+// mutex guards the map and the intrusive LRU list. Eviction removes an
+// entry from the shard but cannot invalidate a reader that already
+// holds it — the entry stays reachable (and correct) until the last
+// holder drops it, which is what makes concurrent hit traffic safe
+// against a generation of evictions happening underneath it.
+//
+// A nil *Cache means "caching off": every method is a nil-receiver
+// no-op returning a miss, the same idiom as internal/obs.
+package cache
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/obs"
+)
+
+// Key is a content address: SHA-256 over the configuration fingerprint
+// followed by the canonical IR text.
+type Key [sha256.Size]byte
+
+// Sum hashes the (fingerprint + canonical text) bytes into a Key. It is
+// allocation-free; callers build b in a reused buffer.
+func Sum(b []byte) Key { return sha256.Sum256(b) }
+
+// Entry is one cached compilation result. All fields are immutable
+// after Put: Func is shared by every hit and must be treated as
+// read-only, and Text is the canonical printed form of Func — the
+// byte-identity witness the differential tests and the serve front end
+// use without re-printing.
+type Entry struct {
+	Func *ir.Func // the compiled, φ-free output (shared; read-only)
+	Text []byte   // canonical ir text of Func
+	Meta any      // caller payload (the driver stores its FuncMetrics)
+}
+
+// cost is the entry's accounting size against Config.MaxBytes: the
+// output text plus the fixed key overhead. The in-memory Func costs
+// more than its text, but text length tracks it closely enough to make
+// the bound meaningful and cheap.
+func (e *Entry) cost() int64 { return int64(len(e.Text)) + int64(len(Key{})) }
+
+// Config configures New. The zero value gives a 64 MiB cache across 16
+// shards with no metrics.
+type Config struct {
+	// MaxBytes bounds the total accounted size across all shards;
+	// <= 0 selects 64 MiB. The budget is split evenly per shard, so a
+	// single entry larger than MaxBytes/Shards is never stored.
+	MaxBytes int64
+
+	// Shards is the number of independent LRU shards (rounded up to a
+	// power of two; <= 0 selects 16). Entries are placed by the first
+	// key byte, so a well-mixed hash spreads load evenly.
+	Shards int
+
+	// Reg, when non-nil, registers the fastcoalesce_cache_* metrics
+	// (hits, misses, evictions, oversize rejections, resident bytes and
+	// entries). A nil registry costs nothing.
+	Reg *obs.Registry
+}
+
+// node is one resident entry on a shard's intrusive LRU list.
+type node struct {
+	key        Key
+	ent        *Entry
+	cost       int64
+	prev, next *node // LRU list; head = most recent
+}
+
+// shard is one lock domain: a map plus an LRU list under one mutex.
+type shard struct {
+	mu       sync.Mutex
+	by       map[Key]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+	bytes    int64
+	maxBytes int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Oversize  int64 // Puts rejected because the entry exceeds a shard budget
+	Entries   int64
+	Bytes     int64
+}
+
+// Cache is the sharded content-addressed store. Safe for concurrent
+// use; nil means off.
+type Cache struct {
+	shards []*shard
+	mask   uint32
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	oversize  *obs.Counter
+	bytes     *obs.Gauge
+	entries   *obs.Gauge
+
+	// Plain counters mirror the obs instruments so Stats works without
+	// a registry.
+	nHits, nMisses, nEvict, nOver obs.Counter
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Cache{shards: make([]*shard, pow), mask: uint32(pow - 1)}
+	per := cfg.MaxBytes / int64(pow)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{by: make(map[Key]*node), maxBytes: per}
+	}
+	if cfg.Reg != nil {
+		c.hits = cfg.Reg.Counter("fastcoalesce_cache_hits_total",
+			"Compile results served from the content-addressed cache.")
+		c.misses = cfg.Reg.Counter("fastcoalesce_cache_misses_total",
+			"Cache lookups that fell through to a full compile.")
+		c.evictions = cfg.Reg.Counter("fastcoalesce_cache_evictions_total",
+			"Entries evicted by the size-bounded LRU policy.")
+		c.oversize = cfg.Reg.Counter("fastcoalesce_cache_oversize_total",
+			"Results too large for a shard budget, never stored.")
+		c.bytes = cfg.Reg.Gauge("fastcoalesce_cache_bytes",
+			"Accounted bytes resident across all shards.")
+		c.entries = cfg.Reg.Gauge("fastcoalesce_cache_entries",
+			"Entries resident across all shards.")
+	}
+	return c
+}
+
+// shardFor selects the owning shard by the key's first bytes.
+func (c *Cache) shardFor(k Key) *shard {
+	idx := (uint32(k[0]) | uint32(k[1])<<8 | uint32(k[2])<<16 | uint32(k[3])<<24) & c.mask
+	return c.shards[idx]
+}
+
+// Get returns the entry for k, bumping it to most-recently-used. A nil
+// cache always misses. The returned entry is shared and read-only.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	n, ok := s.by[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Inc()
+		c.nMisses.Inc()
+		return nil, false
+	}
+	s.moveToFront(n)
+	ent := n.ent
+	s.mu.Unlock()
+	c.hits.Inc()
+	c.nHits.Inc()
+	return ent, true
+}
+
+// Put stores e under k and returns the resident entry: if another
+// goroutine compiled the same function first, the earlier entry wins
+// and is returned, so concurrent fillers converge on one shared copy.
+// Entries larger than the per-shard budget are rejected (counted as
+// oversize) and e itself is returned. Safe on a nil cache (no-op).
+func (c *Cache) Put(k Key, e *Entry) *Entry {
+	if c == nil {
+		return e
+	}
+	cost := e.cost()
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if n, ok := s.by[k]; ok {
+		s.moveToFront(n)
+		ent := n.ent
+		s.mu.Unlock()
+		return ent
+	}
+	if cost > s.maxBytes {
+		s.mu.Unlock()
+		c.oversize.Inc()
+		c.nOver.Inc()
+		return e
+	}
+	n := &node{key: k, ent: e, cost: cost}
+	s.by[k] = n
+	s.pushFront(n)
+	s.bytes += cost
+	evicted := 0
+	for s.bytes > s.maxBytes && s.tail != nil && s.tail != n {
+		evicted++
+		s.evict(s.tail)
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+		c.nEvict.Add(int64(evicted))
+	}
+	c.adjustGauges()
+	return e
+}
+
+// adjustGauges republishes the resident-size gauges after a fill.
+// Summing the shards needs their (short) locks; the cost rides the
+// miss path only, next to a full compile.
+func (c *Cache) adjustGauges() {
+	if c.bytes == nil && c.entries == nil {
+		return
+	}
+	var bytes, entries int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		bytes += s.bytes
+		entries += int64(len(s.by))
+		s.mu.Unlock()
+	}
+	c.bytes.Set(bytes)
+	c.entries.Set(entries)
+}
+
+// Stats snapshots the counters and walks the shards for exact resident
+// totals. Safe on a nil cache (zero Stats).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.nHits.Value(),
+		Misses:    c.nMisses.Value(),
+		Evictions: c.nEvict.Value(),
+		Oversize:  c.nOver.Value(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += int64(len(s.by))
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.by)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// NumShards returns the shard count (0 for a nil cache).
+func (c *Cache) NumShards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// pushFront links n as the most-recently-used node. Caller holds s.mu.
+func (s *shard) pushFront(n *node) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+// moveToFront bumps n to most-recently-used. Caller holds s.mu.
+func (s *shard) moveToFront(n *node) {
+	if s.head == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if s.tail == n {
+		s.tail = n.prev
+	}
+	s.pushFront(n)
+}
+
+// evict removes n from the shard. Caller holds s.mu.
+func (s *shard) evict(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if s.head == n {
+		s.head = n.next
+	}
+	if s.tail == n {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	delete(s.by, n.key)
+	s.bytes -= n.cost
+}

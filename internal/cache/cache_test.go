@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"fastcoalesce/internal/obs"
+)
+
+// k derives a distinct key from a small integer.
+func k(i int) Key { return Sum([]byte{byte(i), byte(i >> 8)}) }
+
+// ent builds an entry whose accounted cost is textLen + len(Key{}).
+func ent(textLen int) *Entry { return &Entry{Text: make([]byte, textLen)} }
+
+func TestNilCacheIsOff(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	e := ent(10)
+	if got := c.Put(k(1), e); got != e {
+		t.Fatal("nil cache Put did not hand the entry back")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache Stats = %+v, want zero", st)
+	}
+	if c.Len() != 0 || c.NumShards() != 0 {
+		t.Fatal("nil cache has residents")
+	}
+}
+
+func TestHitMissCounts(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k(1), ent(10))
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("stored entry missed")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("Stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+	if st.Bytes != int64(10+len(Key{})) {
+		t.Fatalf("Bytes = %d, want %d", st.Bytes, 10+len(Key{}))
+	}
+}
+
+func TestFirstPutWins(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	first := ent(10)
+	second := ent(10)
+	if got := c.Put(k(1), first); got != first {
+		t.Fatal("first Put did not return its own entry")
+	}
+	if got := c.Put(k(1), second); got != first {
+		t.Fatal("second Put did not converge on the resident entry")
+	}
+	if got, _ := c.Get(k(1)); got != first {
+		t.Fatal("Get did not return the first-filled entry")
+	}
+}
+
+// TestLRUOrder pins the recency policy: touching an entry saves it from
+// the eviction that claims an untouched one.
+func TestLRUOrder(t *testing.T) {
+	// One shard, budget for exactly three cost-100 entries.
+	c := New(Config{MaxBytes: 300, Shards: 1})
+	const textLen = 100 - 32 // cost = textLen + len(Key{}) = 100
+	c.Put(k(1), ent(textLen))
+	c.Put(k(2), ent(textLen))
+	c.Put(k(3), ent(textLen))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Bump k1 to most-recent; k2 is now the LRU tail.
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	c.Put(k(4), ent(textLen)) // over budget: evicts the tail
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("LRU entry k2 survived eviction")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, ok := c.Get(k(i)); !ok {
+			t.Fatalf("k%d evicted, want resident", i)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestEvictionUnderPressure floods a small shard and checks the budget
+// holds, the books balance, and the survivors are the newest entries.
+func TestEvictionUnderPressure(t *testing.T) {
+	c := New(Config{MaxBytes: 1000, Shards: 1})
+	const textLen = 100 - 32 // cost 100 → 10 residents fit
+	const puts = 50
+	for i := 0; i < puts; i++ {
+		c.Put(k(i), ent(textLen))
+	}
+	st := c.Stats()
+	if st.Bytes > 1000 {
+		t.Fatalf("resident bytes %d exceed the 1000 budget", st.Bytes)
+	}
+	if st.Entries != 10 {
+		t.Fatalf("Entries = %d, want 10", st.Entries)
+	}
+	if st.Evictions != puts-10 {
+		t.Fatalf("Evictions = %d, want %d", st.Evictions, puts-10)
+	}
+	// LRU keeps the newest fills.
+	for i := puts - 10; i < puts; i++ {
+		if _, ok := c.Get(k(i)); !ok {
+			t.Fatalf("recent entry k%d evicted", i)
+		}
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	c := New(Config{MaxBytes: 100, Shards: 1})
+	e := ent(200) // cost 232 > the 100-byte shard budget
+	if got := c.Put(k(1), e); got != e {
+		t.Fatal("oversize Put did not hand the entry back")
+	}
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("oversize entry was stored")
+	}
+	st := c.Stats()
+	if st.Oversize != 1 || st.Entries != 0 {
+		t.Fatalf("Stats = %+v, want 1 oversize, 0 entries", st)
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	if got := New(Config{Shards: 5}).NumShards(); got != 8 {
+		t.Fatalf("Shards:5 rounded to %d, want 8", got)
+	}
+	if got := New(Config{}).NumShards(); got != 16 {
+		t.Fatalf("default shards = %d, want 16", got)
+	}
+}
+
+// TestMetricsMirrorStats checks the registry instruments track the
+// plain counters exactly.
+func TestMetricsMirrorStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{MaxBytes: 300, Shards: 1, Reg: reg})
+	const textLen = 100 - 32
+	for i := 0; i < 5; i++ {
+		c.Put(k(i), ent(textLen))
+	}
+	c.Get(k(4))
+	c.Get(k(99))            // miss
+	c.Put(k(100), ent(500)) // oversize
+	st := c.Stats()
+	check := func(name string, want int64) {
+		t.Helper()
+		if got := reg.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check("fastcoalesce_cache_hits_total", st.Hits)
+	check("fastcoalesce_cache_misses_total", st.Misses)
+	check("fastcoalesce_cache_evictions_total", st.Evictions)
+	check("fastcoalesce_cache_oversize_total", st.Oversize)
+	if got := reg.Gauge("fastcoalesce_cache_bytes", "").Value(); got != st.Bytes {
+		t.Errorf("bytes gauge = %d, want %d", got, st.Bytes)
+	}
+	if got := reg.Gauge("fastcoalesce_cache_entries", "").Value(); got != st.Entries {
+		t.Errorf("entries gauge = %d, want %d", got, st.Entries)
+	}
+}
+
+// TestConcurrentShardAccess hammers a small cache from many goroutines
+// so hits, fills, and evictions overlap; the -race CI job turns any
+// unsynchronized access into a failure. Readers keep using entries that
+// may have been evicted underneath them — immutability makes that safe.
+func TestConcurrentShardAccess(t *testing.T) {
+	c := New(Config{MaxBytes: 2048, Shards: 4})
+	const (
+		goroutines = 8
+		ops        = 2000
+		keys       = 64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				id := (seed*31 + i*17) % keys
+				if e, ok := c.Get(k(id)); ok {
+					if len(e.Text) == 0 {
+						t.Error("hit returned an empty entry")
+						return
+					}
+					_ = e.Text[0] // touch possibly-evicted memory
+					continue
+				}
+				c.Put(k(id), ent(32+id))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines*ops {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, goroutines*ops)
+	}
+	if st.Bytes > 2048 {
+		t.Fatalf("resident bytes %d exceed budget", st.Bytes)
+	}
+}

@@ -25,6 +25,7 @@
 package driver
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"fastcoalesce/internal/analysis"
+	"fastcoalesce/internal/cache"
 	"fastcoalesce/internal/core"
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/ir"
@@ -103,6 +105,11 @@ type Job struct {
 	Src  string
 	IR   bool
 	Func *ir.Func
+
+	// key, when non-nil, is the job's precomputed content address: the
+	// ShardPool canonicalizes once at submit time (it needs the hash to
+	// pick a shard), so the worker skips re-printing the function.
+	key *cache.Key
 }
 
 // Result is the outcome of one job, in job order.
@@ -117,6 +124,17 @@ type Result struct {
 	// context was cancelled before a worker claimed it (RunCtx's drain
 	// semantics). Err then holds the context's error.
 	Skipped bool
+
+	// Cached marks a result served from Config.Cache. Func is then the
+	// cache's shared copy and must be treated as read-only; Metrics
+	// carries the counts recorded when the entry was filled, with the
+	// phase durations zeroed (no pipeline work ran) except Parse.
+	Cached bool
+
+	// Revalidated marks a cache hit that was recompiled anyway
+	// (Config.Revalidate) and byte-compared against the cached entry; a
+	// mismatch surfaces as Err. Func is then the fresh, private copy.
+	Revalidated bool
 
 	// Report holds the audit findings when Config.Check is enabled (nil
 	// otherwise). A finding is not an Err: the pipeline produced output,
@@ -147,6 +165,35 @@ type Config struct {
 	// sees live totals). A nil recorder costs nothing — the differential
 	// test in this package checks the output is byte-identical either way.
 	Obs *obs.Recorder
+
+	// Cache, when non-nil, turns on the content-addressed result cache:
+	// after parsing, the worker canonicalizes the input IR into a reused
+	// buffer, hashes it together with the configuration fingerprint
+	// (algo + flavor), and on a hit skips SSA construction, liveness,
+	// coalescing, and verification entirely — the cached output was
+	// verified when it was filled, and every pipeline is deterministic,
+	// so the entry is the answer. Misses compile normally and fill the
+	// cache with a private clone. A nil cache always misses for free.
+	Cache *cache.Cache
+
+	// Revalidate forces cache hits through the full pipeline anyway and
+	// byte-compares the fresh output against the cached entry (a cheap
+	// translation validation of the cache itself); a mismatch is a job
+	// error. cmd front ends enable this when -check is on so audits
+	// never trust a stored result.
+	Revalidate bool
+
+	// fp is the cache fingerprint, resolved once per run (runScratches,
+	// ShardPool) so the hot path never rebuilds the string.
+	fp string
+}
+
+// fingerprint returns the configuration bytes mixed into every cache
+// key: anything that changes the compiled output must appear here.
+// Check/Obs/Workers are deliberately absent — they never change a bit
+// of output (the differential tests pin this).
+func (cfg *Config) fingerprint() string {
+	return cfg.Algo.String() + "/" + cfg.Flavor.String() + "\x00"
 }
 
 // Run compiles every job with cfg's pipeline across a worker pool and
@@ -197,6 +244,7 @@ func newScratches(cfg Config, workers int) []*Scratch {
 // over a fixed set of per-worker scratches (the pool size is len(scs)).
 func runScratches(ctx context.Context, jobs []Job, cfg Config, scs []*Scratch) ([]Result, *Snapshot) {
 	workers := len(scs)
+	cfg.fp = cfg.fingerprint()
 	cfg.Obs.NextGen() // one trace generation per batch
 	bm := newBatchMetrics(cfg)
 	bm.batches.Inc()
@@ -263,9 +311,15 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 	tr.Begin(obs.PhaseParse)
 	var f *ir.Func
 	var err error
+	owned := true // f is private; prebuilt jobs defer the clone to the miss path
 	switch {
 	case j.Func != nil:
-		f = j.Func.Clone()
+		if cfg.Cache != nil {
+			f = j.Func // canonicalize in place; clone only if we must compile
+			owned = false
+		} else {
+			f = j.Func.Clone()
+		}
 	case j.IR:
 		f, err = ir.Parse(j.Src)
 	default:
@@ -281,6 +335,44 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 	}
 	m := &res.Metrics
 	m.Parse = time.Since(t0)
+
+	// The cache fast path: hash the canonical input text (plus the
+	// configuration fingerprint) in a reused buffer and look it up. A
+	// hit is the whole compile — unless Revalidate insists on earning
+	// it again.
+	var key cache.Key
+	var hitEnt *cache.Entry
+	if cfg.Cache != nil {
+		tr.Begin(obs.PhaseCache)
+		if j.key != nil {
+			key = *j.key
+		} else {
+			if cfg.fp == "" {
+				cfg.fp = cfg.fingerprint()
+			}
+			buf := append(sc.canonBuf(), cfg.fp...)
+			buf = f.AppendText(buf)
+			sc.storeCanon(buf)
+			key = cache.Sum(buf)
+		}
+		var ok bool
+		hitEnt, ok = cfg.Cache.Get(key)
+		tr.End(obs.PhaseCache)
+		if ok && !cfg.Revalidate {
+			res.Func = hitEnt.Func
+			res.Cached = true
+			if fm, isFM := hitEnt.Meta.(FuncMetrics); isFM {
+				parse := m.Parse
+				res.Metrics = fm
+				res.Metrics.Parse = parse
+			}
+			return res
+		}
+		if !owned {
+			f = j.Func.Clone()
+			owned = true
+		}
+	}
 
 	fold := cfg.Algo == Standard || cfg.Algo == New
 	t1 := time.Now()
@@ -364,6 +456,33 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 		return res
 	}
 	res.Func = f
+
+	if cfg.Cache != nil {
+		if hitEnt != nil {
+			// Revalidation: the fresh compile must reproduce the cached
+			// bytes exactly, or the cache (or a pipeline's determinism)
+			// is broken and the job fails loudly.
+			res.Cached = true
+			res.Revalidated = true
+			fresh := f.AppendText(sc.canonBuf())
+			sc.storeCanon(fresh)
+			if !bytes.Equal(fresh, hitEnt.Text) {
+				res.Err = fmt.Errorf("%s: cache revalidation: cached output differs from fresh compile under %v", res.Name, cfg.Algo)
+				return res
+			}
+		} else {
+			// Fill: store a private clone (callers may mutate res.Func)
+			// with the output text as the byte-identity witness and the
+			// shape counts as metadata, durations zeroed.
+			meta := res.Metrics
+			meta.Parse, meta.Build, meta.Destruct, meta.Check = 0, 0, 0, 0
+			cfg.Cache.Put(key, &cache.Entry{
+				Func: f.Clone(),
+				Text: f.AppendText(nil),
+				Meta: meta,
+			})
+		}
+	}
 
 	if cfg.Check != analysis.None {
 		t3 := time.Now()

@@ -45,6 +45,9 @@ type Snapshot struct {
 	Checked       int64 // jobs that ran the audit
 	CheckFindings int64 // diagnostics across those jobs
 
+	CacheHits   int64 // jobs served from the content-addressed cache
+	Revalidated int64 // cache hits recompiled and byte-compared (Config.Revalidate)
+
 	AllocBytes int64
 
 	PhisInserted    int64
@@ -77,6 +80,12 @@ func summarize(results []Result, algo Algo, workers int, wall time.Duration, all
 			continue
 		}
 		s.Functions++
+		if r.Cached {
+			s.CacheHits++
+		}
+		if r.Revalidated {
+			s.Revalidated++
+		}
 		m := &r.Metrics
 		s.Parse += m.Parse
 		s.Build += m.Build
@@ -121,6 +130,10 @@ func (s *Snapshot) Table() string {
 	if s.Checked > 0 {
 		fmt.Fprintf(&b, "  checks:        audited %-6d findings %-6d time %v\n",
 			s.Checked, s.CheckFindings, s.Check.Round(time.Microsecond))
+	}
+	if s.CacheHits > 0 {
+		fmt.Fprintf(&b, "  cache:         hits %-6d revalidated %d\n",
+			s.CacheHits, s.Revalidated)
 	}
 	return b.String()
 }

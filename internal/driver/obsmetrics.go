@@ -16,6 +16,7 @@ type batchMetrics struct {
 	coalesced *obs.Counter
 	visits    *obs.Counter
 	static    *obs.Histogram
+	revals    *obs.Counter
 }
 
 func newBatchMetrics(cfg Config) batchMetrics {
@@ -41,6 +42,8 @@ func newBatchMetrics(cfg Config) batchMetrics {
 		static: reg.Histogram("fastcoalesce_static_copies",
 			"Copy instructions left per compiled function.",
 			obs.Pow2Buckets(0, 12), algo),
+		revals: reg.Counter("fastcoalesce_cache_revalidations_total",
+			"Cache hits recompiled and byte-compared against the entry.", algo),
 	}
 }
 
@@ -49,6 +52,14 @@ func (m *batchMetrics) observe(r *Result) {
 	m.jobs.Inc()
 	if r.Err != nil {
 		m.errors.Inc()
+		return
+	}
+	if r.Revalidated {
+		m.revals.Inc()
+	}
+	if r.Cached && !r.Revalidated {
+		// A cache hit ran no pipeline: the work counters stay put, and
+		// the cache's own fastcoalesce_cache_hits_total accounts for it.
 		return
 	}
 	m.inserted.Add(int64(r.Metrics.CopiesInserted))

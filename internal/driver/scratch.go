@@ -24,6 +24,12 @@ type Scratch struct {
 
 	ssa  ssa.Scratch
 	core core.Scratch
+
+	// canon is the reused canonicalization buffer for cache keys: the
+	// worker prints fingerprint + IR text into it and hashes the bytes,
+	// so a steady-state cache hit allocates nothing. It rides along even
+	// under NoScratch — it belongs to the cache layer, not the compile.
+	canon []byte
 }
 
 // ssaScratch returns the ssa.Build scratch, or nil for a nil or cold
@@ -51,4 +57,20 @@ func (s *Scratch) tracer() *obs.Tracer {
 		return nil
 	}
 	return s.obs
+}
+
+// canonBuf returns the canonicalization buffer, emptied but with its
+// capacity intact. Nil receivers get a nil slice (append allocates).
+func (s *Scratch) canonBuf() []byte {
+	if s == nil {
+		return nil
+	}
+	return s.canon[:0]
+}
+
+// storeCanon hands the (possibly grown) buffer back for the next job.
+func (s *Scratch) storeCanon(b []byte) {
+	if s != nil {
+		s.canon = b
+	}
 }

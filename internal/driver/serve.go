@@ -31,8 +31,11 @@ type ServeReport struct {
 // Serve runs the batch round after round until the context is cancelled
 // (or opt.Rounds is reached) — the engine behind `cmd/coalesce -serve`,
 // where an HTTP exporter scrapes cfg.Obs while this loop supplies the
-// load. Shutdown is graceful: cancellation lets claimed jobs finish
-// (RunCtx's drain semantics), counts the rest as skipped, and returns.
+// load. With cfg.Cache set, only the first round compiles: later rounds
+// are answered from the result cache, so a long session measures the
+// warm-hit path rather than repeated recompilation. Shutdown is
+// graceful: cancellation lets claimed jobs finish (RunCtx's drain
+// semantics), counts the rest as skipped, and returns.
 //
 // One set of per-worker scratches and tracers is created up front and
 // reused across rounds, so a long session keeps warm allocation behavior

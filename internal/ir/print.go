@@ -1,89 +1,149 @@
 package ir
 
-import (
-	"fmt"
-	"strings"
-)
+import "strconv"
 
 // String renders the function in a readable textual form, used by the CLI
-// dump flags, examples, and golden tests.
+// dump flags, examples, and golden tests. The text round-trips through
+// Parse and is canonical: two structurally identical functions print
+// identically, which is what makes it a content-address for the compile
+// cache (internal/cache).
 func (f *Func) String() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "func %s(", f.Name)
+	return string(f.AppendText(nil))
+}
+
+// AppendText appends the function's canonical textual form (exactly the
+// String output) to b and returns the extended slice. With a reused
+// buffer of sufficient capacity it allocates nothing, which keeps the
+// cache-key canonicalization on the driver's hit path allocation-free.
+func (f *Func) AppendText(b []byte) []byte {
+	b = append(b, "func "...)
+	b = append(b, f.Name...)
+	b = append(b, '(')
 	for i, p := range f.Params {
 		if i > 0 {
-			sb.WriteString(", ")
+			b = append(b, ", "...)
 		}
-		sb.WriteString(f.VarName(p))
+		b = f.appendVar(b, p)
 	}
 	for i, a := range f.ArrParams {
 		if i > 0 || len(f.Params) > 0 {
-			sb.WriteString(", ")
+			b = append(b, ", "...)
 		}
-		fmt.Fprintf(&sb, "%s[]", f.ArrNames[a])
+		b = append(b, f.ArrNames[a]...)
+		b = append(b, "[]"...)
 	}
-	sb.WriteString(") {\n")
-	for _, b := range f.Blocks {
-		if b == nil {
+	b = append(b, ") {\n"...)
+	for _, blk := range f.Blocks {
+		if blk == nil {
 			continue
 		}
-		fmt.Fprintf(&sb, "b%d:", b.ID)
-		if len(b.Preds) > 0 {
-			sb.WriteString(" ; preds")
-			for _, p := range b.Preds {
-				fmt.Fprintf(&sb, " b%d", p)
+		b = appendBlockID(b, blk.ID)
+		b = append(b, ':')
+		if len(blk.Preds) > 0 {
+			b = append(b, " ; preds"...)
+			for _, p := range blk.Preds {
+				b = append(b, ' ')
+				b = appendBlockID(b, p)
 			}
 		}
-		sb.WriteByte('\n')
-		for i := range b.Instrs {
-			sb.WriteString("\t")
-			sb.WriteString(f.instrString(b, &b.Instrs[i]))
-			sb.WriteByte('\n')
+		b = append(b, '\n')
+		for i := range blk.Instrs {
+			b = append(b, '\t')
+			b = f.appendInstr(b, blk, &blk.Instrs[i])
+			b = append(b, '\n')
 		}
 	}
-	sb.WriteString("}\n")
-	return sb.String()
+	return append(b, "}\n"...)
 }
 
-func (f *Func) instrString(b *Block, in *Instr) string {
-	name := func(v VarID) string { return f.VarName(v) }
+// appendVar appends the variable's name ("_" for NoVar).
+func (f *Func) appendVar(b []byte, v VarID) []byte {
+	if v == NoVar {
+		return append(b, '_')
+	}
+	return append(b, f.VarNames[v]...)
+}
+
+// appendBlockID appends "b<id>".
+func appendBlockID(b []byte, id BlockID) []byte {
+	b = append(b, 'b')
+	return strconv.AppendInt(b, int64(id), 10)
+}
+
+func (f *Func) appendInstr(b []byte, blk *Block, in *Instr) []byte {
 	switch in.Op {
 	case OpConst:
-		return fmt.Sprintf("%s = %d", name(in.Def), in.Const)
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = "...)
+		return strconv.AppendInt(b, in.Const, 10)
 	case OpCopy:
-		return fmt.Sprintf("%s = %s", name(in.Def), name(in.Args[0]))
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = "...)
+		return f.appendVar(b, in.Args[0])
 	case OpParam:
-		return fmt.Sprintf("%s = param %d", name(in.Def), in.Const)
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = param "...)
+		return strconv.AppendInt(b, in.Const, 10)
 	case OpPhi:
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "%s = phi(", name(in.Def))
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = phi("...)
 		for i, a := range in.Args {
 			if i > 0 {
-				sb.WriteString(", ")
+				b = append(b, ", "...)
 			}
 			pred := BlockID(-1)
-			if i < len(b.Preds) {
-				pred = b.Preds[i]
+			if i < len(blk.Preds) {
+				pred = blk.Preds[i]
 			}
-			fmt.Fprintf(&sb, "b%d:%s", pred, name(a))
+			b = appendBlockID(b, pred)
+			b = append(b, ':')
+			b = f.appendVar(b, a)
 		}
-		sb.WriteString(")")
-		return sb.String()
+		return append(b, ')')
 	case OpALoad:
-		return fmt.Sprintf("%s = %s[%s]", name(in.Def), f.ArrNames[in.Arr], name(in.Args[0]))
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = "...)
+		b = append(b, f.ArrNames[in.Arr]...)
+		b = append(b, '[')
+		b = f.appendVar(b, in.Args[0])
+		return append(b, ']')
 	case OpAStore:
-		return fmt.Sprintf("%s[%s] = %s", f.ArrNames[in.Arr], name(in.Args[0]), name(in.Args[1]))
+		b = append(b, f.ArrNames[in.Arr]...)
+		b = append(b, '[')
+		b = f.appendVar(b, in.Args[0])
+		b = append(b, "] = "...)
+		return f.appendVar(b, in.Args[1])
 	case OpALen:
-		return fmt.Sprintf("%s = len(%s)", name(in.Def), f.ArrNames[in.Arr])
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = len("...)
+		b = append(b, f.ArrNames[in.Arr]...)
+		return append(b, ')')
 	case OpJmp:
-		return fmt.Sprintf("jmp b%d", b.Succs[0])
+		b = append(b, "jmp "...)
+		return appendBlockID(b, blk.Succs[0])
 	case OpBr:
-		return fmt.Sprintf("br %s b%d b%d", name(in.Args[0]), b.Succs[0], b.Succs[1])
+		b = append(b, "br "...)
+		b = f.appendVar(b, in.Args[0])
+		b = append(b, ' ')
+		b = appendBlockID(b, blk.Succs[0])
+		b = append(b, ' ')
+		return appendBlockID(b, blk.Succs[1])
 	case OpRet:
-		return fmt.Sprintf("ret %s", name(in.Args[0]))
+		b = append(b, "ret "...)
+		return f.appendVar(b, in.Args[0])
 	case OpNeg, OpNot:
-		return fmt.Sprintf("%s = %s %s", name(in.Def), in.Op, name(in.Args[0]))
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = "...)
+		b = append(b, in.Op.String()...)
+		b = append(b, ' ')
+		return f.appendVar(b, in.Args[0])
 	default:
-		return fmt.Sprintf("%s = %s %s, %s", name(in.Def), in.Op, name(in.Args[0]), name(in.Args[1]))
+		b = f.appendVar(b, in.Def)
+		b = append(b, " = "...)
+		b = append(b, in.Op.String()...)
+		b = append(b, ' ')
+		b = f.appendVar(b, in.Args[0])
+		b = append(b, ", "...)
+		return f.appendVar(b, in.Args[1])
 	}
 }

@@ -1,6 +1,7 @@
 // Command docscheck keeps the documentation's shell transcripts honest:
-// every `-flag` used in a fenced code block that invokes ./cmd/coalesce
-// or ./cmd/experiments must be a flag the binary actually declares.
+// every `-flag` used in a fenced code block that invokes ./cmd/coalesce,
+// ./cmd/coalesced, or ./cmd/experiments must be a flag the binary
+// actually declares.
 // Stale docs are the usual failure mode of a README rewrite — a flag is
 // renamed in code and the transcript keeps advertising the old name —
 // so CI runs this from the repo root (see the docs job in ci.yml):
@@ -24,8 +25,9 @@ import (
 var flagDecl = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([^"]+)"`)
 
 // cmdInvoke matches a documented invocation of one of our binaries and
-// captures which one.
-var cmdInvoke = regexp.MustCompile(`(?:\./|/)cmd/(coalesce|experiments)\b|(?:^|\s)(coalesce|experiments)\s+-`)
+// captures which one. "coalesced" must precede "coalesce" in each
+// alternation or the regex stops at the shorter prefix and the \b fails.
+var cmdInvoke = regexp.MustCompile(`(?:\./|/)cmd/(coalesced|coalesce|experiments)\b|(?:^|\s)(coalesced|coalesce|experiments)\s+-`)
 
 func main() {
 	if err := run(); err != nil {
@@ -36,7 +38,7 @@ func main() {
 
 func run() error {
 	flags := map[string]map[string]bool{}
-	for _, cmd := range []string{"coalesce", "experiments"} {
+	for _, cmd := range []string{"coalesce", "coalesced", "experiments"} {
 		set, err := declaredFlags(filepath.Join("cmd", cmd, "main.go"))
 		if err != nil {
 			return fmt.Errorf("%s (run from the repo root): %w", cmd, err)
@@ -44,7 +46,7 @@ func run() error {
 		flags[cmd] = set
 	}
 
-	docs := []string{"README.md", "OBSERVABILITY.md", "ARCHITECTURE.md", "EXPERIMENTS.md"}
+	docs := []string{"README.md", "OBSERVABILITY.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "SERVING.md"}
 	var bad []string
 	for _, doc := range docs {
 		data, err := os.ReadFile(doc)
@@ -56,8 +58,8 @@ func run() error {
 	if len(bad) > 0 {
 		return fmt.Errorf("stale flags in documentation:\n  %s", strings.Join(bad, "\n  "))
 	}
-	fmt.Printf("docscheck: %d docs clean against %d+%d flags\n",
-		len(docs), len(flags["coalesce"]), len(flags["experiments"]))
+	fmt.Printf("docscheck: %d docs clean against %d+%d+%d flags\n",
+		len(docs), len(flags["coalesce"]), len(flags["coalesced"]), len(flags["experiments"]))
 	return nil
 }
 

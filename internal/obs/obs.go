@@ -67,6 +67,7 @@ const (
 	PhaseRewrite                     // step 4: renaming + copy materialization (§3.5–3.6)
 	PhaseVerify                      // ir.Verify on the output
 	PhaseCheck                       // internal/analysis audit
+	PhaseCache                       // canonicalize + hash + cache lookup (internal/cache)
 	PhaseJob                         // one whole function, wrapping all of the above
 	NumPhases
 )
@@ -74,7 +75,7 @@ const (
 var phaseNames = [NumPhases]string{
 	"parse", "dom", "liveness", "ssa-build", "phi-instantiate",
 	"coalesce-union", "coalesce-forest", "coalesce-local",
-	"rewrite", "verify", "check", "job",
+	"rewrite", "verify", "check", "cache", "job",
 }
 
 // String returns the phase's label as it appears in traces and metrics.

@@ -86,7 +86,14 @@ type Server struct {
 
 // Start binds addr and serves Handler(rec) in a background goroutine.
 func Start(addr string, rec *obs.Recorder) (*Server, error) {
-	srv := &http.Server{Addr: addr, Handler: Handler(rec)}
+	return StartHandler(addr, Handler(rec))
+}
+
+// StartHandler is Start for front ends that mount their own routes on
+// top of (or around) Handler — cmd/coalesced adds /compile and /healthz
+// and delegates the rest here.
+func StartHandler(addr string, h http.Handler) (*Server, error) {
+	srv := &http.Server{Addr: addr, Handler: h}
 	ln, err := newListener(srv)
 	if err != nil {
 		return nil, err
