@@ -40,6 +40,8 @@ type Key [sha256.Size]byte
 
 // Sum hashes the (fingerprint + canonical text) bytes into a Key. It is
 // allocation-free; callers build b in a reused buffer.
+//
+// fc:hotpath
 func Sum(b []byte) Key { return sha256.Sum256(b) }
 
 // Entry is one cached compilation result. All fields are immutable
@@ -108,6 +110,8 @@ type Stats struct {
 
 // Cache is the sharded content-addressed store. Safe for concurrent
 // use; nil means off.
+//
+// fc:niloff
 type Cache struct {
 	shards []*shard
 	mask   uint32
@@ -171,6 +175,8 @@ func (c *Cache) shardFor(k Key) *shard {
 
 // Get returns the entry for k, bumping it to most-recently-used. A nil
 // cache always misses. The returned entry is shared and read-only.
+//
+// fc:hotpath
 func (c *Cache) Get(k Key) (*Entry, bool) {
 	if c == nil {
 		return nil, false

@@ -163,12 +163,12 @@ type Scratch struct {
 	// root (check 5) as plain block lists with a stamped intersection
 	// probe. occ[root] empty means the singleton {defBlock[root]}.
 	claimedBy  []int32
-	claimedGen []uint32
-	claimGen   uint32
+	claimedGen []uint32 // fc:stamp claimGen
+	claimGen   uint32   // fc:epoch
 	occ        [][]ir.BlockID
-	blockMark  []uint32
-	blockGen   uint32
-	order      []int // step-1 φ-arg sort order
+	blockMark  []uint32 // fc:stamp blockGen
+	blockGen   uint32   // fc:epoch
+	order      []int    // step-1 φ-arg sort order
 
 	// materializeClasses: per-root class size and class index.
 	classSize   []int32
@@ -181,8 +181,8 @@ type Scratch struct {
 	lpByBlock  [][]pair
 	lpOrder    []ir.BlockID
 	lastUse    []int32
-	lastUseGen []uint32
-	lastGen    uint32
+	lastUseGen []uint32 // fc:stamp lastGen
+	lastGen    uint32   // fc:epoch
 
 	// cutLinks: the class's φ-link multigraph (links plus half-edge
 	// adjacency in append order), Edmonds-Karp residuals, the stamped BFS
@@ -191,13 +191,13 @@ type Scratch struct {
 	halfNext []int32
 	adjHead  []int32
 	adjTail  []int32
-	adjGen   []uint32
-	adjCur   uint32
+	adjGen   []uint32 // fc:stamp adjCur
+	adjCur   uint32   // fc:epoch
 	capUV    []float64
 	capVU    []float64
 	via      []int32
-	viaGen   []uint32
-	cutGen   uint32
+	viaGen   []uint32 // fc:stamp cutGen
+	cutGen   uint32   // fc:epoch
 	bfsQueue []ir.VarID
 	movedBuf []ir.VarID
 
@@ -395,10 +395,12 @@ func blockListHas(occ []ir.BlockID, b ir.BlockID) bool {
 //  4. ai was already claimed by another φ-node of the current block;
 //  5. ai's defining block is already occupied by another member of the
 //     class (which also keeps Definition 3.1 satisfiable).
+//
+// fc:hotpath
 func (c *coalescer) unionPhiResources() {
 	sc := c.sc
 	if sc.phiCmp == nil {
-		sc.phiCmp = sc.co.phiArgCmp
+		sc.phiCmp = sc.co.phiArgCmp // fc:lint-ok once per Scratch, captures only &co
 	}
 	curBlock := ir.NoBlock
 	for pi := range c.phis {

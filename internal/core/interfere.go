@@ -64,8 +64,9 @@ func (c *coalescer) resolve(k int32, p, ch, victim ir.VarID) {
 	if c.opt.Trace != nil {
 		names := ""
 		for _, m := range c.members[k] {
-			names += " " + c.f.VarName(m)
+			names += " " + c.f.VarName(m) // fc:lint-ok cold: only under -trace
 		}
+		// fc:lint-ok cold: only under -trace
 		c.opt.Trace(fmt.Sprintf("conflict p=%s c=%s victim=%s class{%s }",
 			c.f.VarName(p), c.f.VarName(ch), c.f.VarName(victim), names))
 	}
@@ -227,6 +228,8 @@ type classLink struct {
 // li's u endpoint, 2li+1 at its v endpoint) threaded through halfNext in
 // tail-append order, so each variable's links are visited in exactly the
 // order the old per-variable append built them.
+//
+// fc:hotpath
 func (c *coalescer) cutLinks(k int32, a, b ir.VarID) {
 	sc := c.sc
 	ms := c.members[k]
@@ -400,6 +403,8 @@ func (c *coalescer) findPath(a, b ir.VarID) bool {
 // defining block backward to see whether the parent's last use comes after
 // the child's definition. Each block is scanned once, covering all of its
 // pairs. It returns the number of members split.
+//
+// fc:hotpath
 func (c *coalescer) localPass(pairs []pair) int {
 	if len(pairs) == 0 {
 		return 0

@@ -15,6 +15,8 @@ func (f *Func) String() string {
 // String output) to b and returns the extended slice. With a reused
 // buffer of sufficient capacity it allocates nothing, which keeps the
 // cache-key canonicalization on the driver's hit path allocation-free.
+//
+// fc:hotpath
 func (f *Func) AppendText(b []byte) []byte {
 	b = append(b, "func "...)
 	b = append(b, f.Name...)

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MainConfig is the parsed command line of cmd/fclint.
+type MainConfig struct {
+	// Patterns are the package patterns to check ("./...", "./internal/core").
+	// Empty means "./...".
+	Patterns []string
+
+	// Dir is the directory patterns resolve from; empty means ".".
+	Dir string
+
+	// JSON switches the report from file:line:col text to a JSON array.
+	JSON bool
+
+	// NoDocs skips the module-level documentation checks (docflags);
+	// package analyzers still run. Fixture trees use it to scope a run.
+	NoDocs bool
+}
+
+// Main is the testable core of cmd/fclint: load, run every analyzer plus
+// the module-level doc checks, report. Returns the process exit code —
+// 0 clean, 1 findings, 2 load or usage failure.
+func Main(cfg MainConfig, stdout, stderr io.Writer) int {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "fclint:", err)
+		return 2
+	}
+	diags := prog.Run(Config{})
+	if !cfg.NoDocs {
+		docDiags, err := DocFlags(prog.ModuleRoot)
+		if err != nil {
+			fmt.Fprintln(stderr, "fclint:", err)
+			return 2
+		}
+		diags = append(diags, docDiags...)
+		sort.Slice(diags, func(i, j int) bool {
+			a, b := diags[i], diags[j]
+			if a.Pos.Filename != b.Pos.Filename {
+				return a.Pos.Filename < b.Pos.Filename
+			}
+			return a.Pos.Line < b.Pos.Line
+		})
+	}
+
+	if cfg.JSON {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "fclint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) == 0 {
+			fmt.Fprintf(stdout, "fclint: %d packages clean\n", len(prog.Roots))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

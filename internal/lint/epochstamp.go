@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// EpochStamp checks the epoch-stamped scratch idiom (ARCHITECTURE.md):
+// a dense table is "cleared" by bumping a generation counter, and a slot
+// is valid only while its stamp equals the counter. The annotations pair
+// the pieces inside a struct:
+//
+//	queued []uint32 // fc:stamp epoch
+//	epoch  uint32   // fc:epoch
+//
+// The rules, per declaring package:
+//
+//  1. every fc:epoch counter is bumped (++ / +=) somewhere — a counter
+//     nobody advances means the table is never cleared;
+//  2. every bump sits in a function that also guards the uint32
+//     wraparound (an "if counter == 0" re-initialization), because after
+//     2³² increments ancient stamps would compare equal again;
+//  3. every read of a stamped slot is an ==/!= comparison against its
+//     counter (directly or through a local copy such as "g := s.gen");
+//  4. every write to a stamped slot stores a value derived from its
+//     counter — stamps written from anything else defeat the "stale
+//     stamps are always smaller" argument.
+//
+// Local aliases of the slice itself (queued := reuse.Slice(s.queued, n))
+// are followed, matching how the hot paths actually hold these tables.
+var EpochStamp = &Analyzer{
+	Name: "epochstamp",
+	Doc:  "fc:epoch/fc:stamp generation tables must bump, guard, and compare correctly",
+	Run:  runEpochStamp,
+}
+
+// stampPair binds one stamped slice to its counter field.
+type stampPair struct {
+	stamp   *types.Var
+	counter *types.Var
+}
+
+func runEpochStamp(p *Pass) {
+	info := p.Pkg.Info
+
+	// Collect the annotated fields.
+	counters := map[*types.Var]string{}      // counter field -> struct name
+	counterByName := map[string]*types.Var{} // "Struct.field" -> counter
+	type pendingStamp struct {
+		field      *types.Var
+		structName string
+		counter    string
+		pos        token.Pos
+	}
+	var stamps []pendingStamp
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						v, ok := info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if hasDirective(field.Comment, "fc:epoch") {
+							counters[v] = ts.Name.Name
+							counterByName[ts.Name.Name+"."+name.Name] = v
+						}
+						if arg := directiveArg(field.Comment, "fc:stamp"); arg != "" {
+							stamps = append(stamps, pendingStamp{
+								field: v, structName: ts.Name.Name, counter: arg, pos: name.Pos(),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	pairs := map[*types.Var]*types.Var{} // stamp field -> counter field
+	for _, s := range stamps {
+		c, ok := counterByName[s.structName+"."+s.counter]
+		if !ok {
+			p.Reportf(s.pos, "fc:stamp names unknown fc:epoch counter %q in struct %s", s.counter, s.structName)
+			continue
+		}
+		pairs[s.field] = c
+	}
+	if len(counters) == 0 && len(pairs) == 0 {
+		return
+	}
+
+	bumped := map[*types.Var]bool{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEpochFunc(p, fd, counters, pairs, bumped)
+		}
+	}
+	for c, structName := range counters {
+		if !bumped[c] {
+			p.Reportf(c.Pos(), "epoch counter %s.%s is never bumped", structName, c.Name())
+		}
+	}
+}
+
+// checkEpochFunc applies the bump/read/write rules inside one function.
+func checkEpochFunc(p *Pass, fd *ast.FuncDecl, counters map[*types.Var]string, pairs map[*types.Var]*types.Var, bumped map[*types.Var]bool) {
+	info := p.Pkg.Info
+
+	// Pass 1: local aliases. "g := s.gen" makes g denote the counter;
+	// "queued := reuse.Slice(s.queued, n)" makes queued denote the table.
+	counterAlias := map[types.Object]*types.Var{}
+	stampAlias := map[types.Object]*types.Var{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if c := fieldRef(info, as.Rhs[i], counters, nil); c != nil {
+				counterAlias[obj] = c
+			}
+			if s := containedFieldRef(info, as.Rhs[i], pairs); s != nil {
+				stampAlias[obj] = s
+			}
+		}
+		return true
+	})
+
+	denotesCounter := func(e ast.Expr, c *types.Var) bool {
+		return fieldRefTo(info, e, c, counterAlias)
+	}
+	mentionsCounter := func(e ast.Expr, c *types.Var) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if ex, ok := n.(ast.Expr); ok && fieldRefTo(info, ex, c, counterAlias) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	hasWrapGuard := func(c *types.Var) bool {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || found {
+				return !found
+			}
+			ast.Inspect(ifs.Cond, func(cn ast.Node) bool {
+				be, ok := cn.(*ast.BinaryExpr)
+				if !ok || be.Op != token.EQL {
+					return true
+				}
+				if (denotesCounter(be.X, c) && isZero(info, be.Y)) ||
+					(denotesCounter(be.Y, c) && isZero(info, be.X)) {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		return found
+	}
+
+	// Pass 2: bumps, reads, writes.
+	visit := func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC {
+				if c := fieldRef(info, n.X, counters, nil); c != nil {
+					bumped[c] = true
+					if !hasWrapGuard(c) {
+						p.Reportf(n.Pos(), "bump of epoch counter %s has no uint32-wraparound guard (if %s == 0) in %s",
+							c.Name(), c.Name(), funcName(fd))
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if c := fieldRef(info, n.Lhs[0], counters, nil); c != nil {
+					bumped[c] = true
+					if !hasWrapGuard(c) {
+						p.Reportf(n.Pos(), "bump of epoch counter %s has no uint32-wraparound guard (if %s == 0) in %s",
+							c.Name(), c.Name(), funcName(fd))
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			s := stampBase(info, n.X, pairs, stampAlias)
+			if s == nil {
+				return
+			}
+			c := pairs[s]
+			if rhs, isWrite := indexWrite(stack, n); isWrite {
+				if rhs != nil && !mentionsCounter(rhs, c) {
+					p.Reportf(n.Pos(), "write to stamped slot %s[...] does not store its epoch counter %s",
+						s.Name(), c.Name())
+				}
+				return
+			}
+			if !comparedAgainst(stack, n, c, denotesCounter) {
+				p.Reportf(n.Pos(), "read of stamped slot %s[...] is not compared against its epoch counter %s",
+					s.Name(), c.Name())
+			}
+		}
+	}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// fieldRef resolves e to an annotated field it directly denotes: a
+// selector whose object is in the set, or (when aliases is non-nil) a
+// local alias of one.
+func fieldRef(info *types.Info, e ast.Expr, set map[*types.Var]string, aliases map[types.Object]*types.Var) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			if _, in := set[v]; in {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if aliases != nil {
+			if v, ok := aliases[info.Uses[e]]; ok {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// fieldRefTo reports whether e denotes exactly the field v (selector or
+// alias).
+func fieldRefTo(info *types.Info, e ast.Expr, v *types.Var, aliases map[types.Object]*types.Var) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel] == v
+	case *ast.Ident:
+		return aliases[info.Uses[e]] == v
+	}
+	return false
+}
+
+// containedFieldRef returns a stamped field referenced anywhere inside e
+// (covers "reuse.Slice(s.queued, n)" alias initializers).
+func containedFieldRef(info *types.Info, e ast.Expr, pairs map[*types.Var]*types.Var) *types.Var {
+	var found *types.Var
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found != nil {
+			return found == nil
+		}
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok {
+			if _, in := pairs[v]; in {
+				found = v
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+// stampBase resolves the indexed expression to a stamped field: a
+// selector to it or a local alias.
+func stampBase(info *types.Info, e ast.Expr, pairs map[*types.Var]*types.Var, aliases map[types.Object]*types.Var) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			if _, in := pairs[v]; in {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := aliases[info.Uses[e]]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// indexWrite reports whether ix is the target of the assignment on top
+// of the stack, returning the corresponding RHS.
+func indexWrite(stack []ast.Node, ix *ast.IndexExpr) (ast.Expr, bool) {
+	if len(stack) == 0 {
+		return nil, false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok {
+		return nil, false
+	}
+	for i, lhs := range as.Lhs {
+		if lhs == ix {
+			if len(as.Lhs) == len(as.Rhs) {
+				return as.Rhs[i], true
+			}
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// comparedAgainst reports whether the read ix is one operand of an
+// ==/!= comparison whose other operand denotes the counter c.
+func comparedAgainst(stack []ast.Node, ix *ast.IndexExpr, c *types.Var, denotes func(ast.Expr, *types.Var) bool) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	be, ok := stack[len(stack)-1].(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return false
+	}
+	other := be.Y
+	if be.Y == ix {
+		other = be.X
+	}
+	return denotes(other, c)
+}
+
+// isZero reports whether e is the constant 0.
+func isZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == 0
+}

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces the zero-allocation discipline on annotated
+// functions: a function whose doc comment carries "// fc:hotpath" must
+// not contain the heap-allocating constructs a warm Scratch is supposed
+// to have eliminated — map/chan makes, new, map literals, composite
+// literals escaping into interfaces, closures capturing variables,
+// method values, fmt calls, and non-constant string concatenation.
+// Slice makes and appends stay legal: amortized growth through
+// reuse.Slice is the idiom's sanctioned allocation path.
+//
+// The check propagates one level into same-package callees, so a hot
+// function cannot launder an allocation through a small helper. Callees
+// annotated themselves are checked in their own right; deliberate cold
+// paths inside hot code (a guarded trace branch, a once-per-Scratch
+// initialization) are acknowledged with "// fc:lint-ok".
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "fc:hotpath functions must not contain heap-allocating constructs",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	hotSet := map[*ast.FuncDecl]bool{}
+	var hot []*ast.FuncDecl
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+			if hasDirective(fd.Doc, "fc:hotpath") {
+				hot = append(hot, fd)
+				hotSet[fd] = true
+			}
+		}
+	}
+
+	checkedCallee := map[*ast.FuncDecl]bool{}
+	for _, fd := range hot {
+		hp := &hotPass{Pass: p}
+		hp.check(fd, fmt.Sprintf("hot path %s", funcName(fd)))
+		// One level into same-package callees: enough to stop an
+		// allocation hiding behind a helper, cheap enough to stay exact.
+		for _, callee := range hp.callees {
+			cd := decls[callee]
+			if cd == nil || cd.Body == nil || hotSet[cd] || checkedCallee[cd] {
+				continue
+			}
+			checkedCallee[cd] = true
+			sub := &hotPass{Pass: p}
+			sub.check(cd, fmt.Sprintf("%s, reached from hot path %s", funcName(cd), funcName(fd)))
+		}
+	}
+}
+
+// funcName renders a function or method name for diagnostics
+// ("ComputeScratch", "coalescer.unionPhiResources").
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// hotPass is the per-function state of one hotpath body check.
+type hotPass struct {
+	*Pass
+	callees []*types.Func
+}
+
+// check walks fd's body reporting banned constructs, collecting static
+// same-package callees for the propagation step.
+func (hp *hotPass) check(fd *ast.FuncDecl, ctx string) {
+	if fd.Body == nil {
+		return
+	}
+	info := hp.Pkg.Info
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			hp.checkCall(n, ctx)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) && info.Types[n].Value == nil {
+				// Report the outermost concat of a chain only.
+				if len(stack) > 0 {
+					if pb, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok && pb.Op == token.ADD && isStringType(info.TypeOf(pb)) {
+						break
+					}
+				}
+				hp.Reportf(n.Pos(), "string concatenation allocates in %s", ctx)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				hp.Reportf(n.Pos(), "string concatenation allocates in %s", ctx)
+			}
+		case *ast.FuncLit:
+			if v := capturedVar(info, hp.Pkg.Types, n); v != nil {
+				hp.Reportf(n.Pos(), "closure capturing %s allocates in %s", v.Name(), ctx)
+			}
+		case *ast.SelectorExpr:
+			if sel := info.Selections[n]; sel != nil && sel.Kind() == types.MethodVal && !isCallFun(stack, n) {
+				hp.Reportf(n.Pos(), "method value %s allocates a closure in %s", exprString(n), ctx)
+			}
+		case *ast.CompositeLit:
+			hp.checkCompositeLit(n, stack, ctx)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkCall flags allocating builtins and fmt calls, and records static
+// same-package callees.
+func (hp *hotPass) checkCall(call *ast.CallExpr, ctx string) {
+	info := hp.Pkg.Info
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	switch o := obj.(type) {
+	case *types.Builtin:
+		switch o.Name() {
+		case "make":
+			switch info.TypeOf(call).Underlying().(type) {
+			case *types.Map:
+				hp.Reportf(call.Pos(), "map make allocates in %s", ctx)
+			case *types.Chan:
+				hp.Reportf(call.Pos(), "chan make allocates in %s", ctx)
+			}
+		case "new":
+			hp.Reportf(call.Pos(), "new(...) allocates in %s", ctx)
+		}
+	case *types.Func:
+		if o.Pkg() == nil {
+			return
+		}
+		if o.Pkg().Path() == "fmt" {
+			hp.Reportf(call.Pos(), "call to fmt.%s allocates in %s", o.Name(), ctx)
+			return
+		}
+		if o.Pkg() == hp.Pkg.Types {
+			hp.callees = append(hp.callees, o)
+		}
+	}
+}
+
+// checkCompositeLit flags map literals and composite literals whose
+// immediate use converts them to an interface (which forces a heap
+// allocation).
+func (hp *hotPass) checkCompositeLit(lit *ast.CompositeLit, stack []ast.Node, ctx string) {
+	info := hp.Pkg.Info
+	if _, ok := info.TypeOf(lit).Underlying().(*types.Map); ok {
+		hp.Reportf(lit.Pos(), "map literal allocates in %s", ctx)
+		return
+	}
+	// The escaping value is the literal or its immediate &-of.
+	var val ast.Expr = lit
+	top := len(stack) - 1
+	if top >= 0 {
+		if ue, ok := stack[top].(*ast.UnaryExpr); ok && ue.Op == token.AND && ue.X == lit {
+			val = ue
+			top--
+		}
+	}
+	if top < 0 {
+		return
+	}
+	if t := interfaceTarget(info, stack[:top+1], val); t != nil {
+		hp.Reportf(lit.Pos(), "composite literal converted to interface %s escapes to the heap in %s", t.String(), ctx)
+	}
+}
+
+// interfaceTarget returns the interface type val is immediately
+// converted to (as a call argument, conversion, assignment, variable
+// initializer, or return value), or nil.
+func interfaceTarget(info *types.Info, stack []ast.Node, val ast.Expr) types.Type {
+	if len(stack) == 0 {
+		return nil
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		idx := -1
+		for i, a := range parent.Args {
+			if a == val {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil
+		}
+		if tv, ok := info.Types[parent.Fun]; ok && tv.IsType() {
+			return asInterface(tv.Type) // explicit conversion T(lit)
+		}
+		sig, ok := info.TypeOf(parent.Fun).Underlying().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		np := sig.Params().Len()
+		var pt types.Type
+		switch {
+		case sig.Variadic() && idx >= np-1:
+			if sl, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case idx < np:
+			pt = sig.Params().At(idx).Type()
+		}
+		return asInterface(pt)
+	case *ast.AssignStmt:
+		if len(parent.Lhs) != len(parent.Rhs) {
+			return nil
+		}
+		for i, r := range parent.Rhs {
+			if r == val {
+				return asInterface(info.TypeOf(parent.Lhs[i]))
+			}
+		}
+	case *ast.ValueSpec:
+		for i, r := range parent.Values {
+			if r == val && i < len(parent.Names) {
+				if o := info.Defs[parent.Names[i]]; o != nil {
+					return asInterface(o.Type())
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		sig := enclosingSignature(info, stack)
+		if sig == nil {
+			return nil
+		}
+		for i, r := range parent.Results {
+			if r == val && i < sig.Results().Len() {
+				return asInterface(sig.Results().At(i).Type())
+			}
+		}
+	}
+	return nil
+}
+
+// enclosingSignature finds the signature of the innermost function
+// literal or declaration on the stack.
+func enclosingSignature(info *types.Info, stack []ast.Node) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			if sig, ok := info.TypeOf(fn).(*types.Signature); ok {
+				return sig
+			}
+		case *ast.FuncDecl:
+			if o, ok := info.Defs[fn.Name].(*types.Func); ok {
+				return o.Type().(*types.Signature)
+			}
+		}
+	}
+	return nil
+}
+
+// asInterface returns t if it is an interface type, else nil.
+func asInterface(t types.Type) types.Type {
+	if t != nil && types.IsInterface(t) {
+		return t
+	}
+	return nil
+}
+
+// capturedVar returns a variable the function literal captures from an
+// enclosing function scope, or nil. Package-level and literal-local
+// variables are not captures; a capturing closure needs a heap cell.
+func capturedVar(info *types.Info, pkg *types.Package, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe || v.Parent() == pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v
+		}
+		return true
+	})
+	return captured
+}
+
+// isCallFun reports whether sel is the callee of the call on top of the
+// stack (a plain method call, not a method value).
+func isCallFun(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == sel
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// exprString renders a selector chain for a diagnostic.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "?"
+}

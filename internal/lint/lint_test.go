@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the expect.txt goldens")
+
+// runFixture loads one fixture tree, runs a single analyzer over it with
+// DocRoot pointed at the fixture, and renders the findings with paths
+// relative to the fixture directory.
+func runFixture(t *testing.T, dir string, a *Analyzer) []string {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(abs, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	diags := prog.Run(Config{Analyzers: []*Analyzer{a}, DocRoot: abs})
+	return renderRelative(t, abs, diags)
+}
+
+func renderRelative(t *testing.T, base string, diags []Diagnostic) []string {
+	t.Helper()
+	var out []string
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if filepath.IsAbs(name) {
+			rel, err := filepath.Rel(base, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name = filepath.ToSlash(rel)
+		}
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s: %s", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
+	}
+	return out
+}
+
+// checkGolden compares got against dir/expect.txt, rewriting it under
+// -update.
+func checkGolden(t *testing.T, dir string, got []string) {
+	t.Helper()
+	path := filepath.Join(dir, "expect.txt")
+	text := strings.Join(got, "\n")
+	if len(got) > 0 {
+		text += "\n"
+	}
+	if *update {
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(want) != text {
+		t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", dir, text, want)
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		dir string
+		a   *Analyzer
+	}{
+		{"testdata/lint/hotpath", HotPath},
+		{"testdata/lint/epochstamp", EpochStamp},
+		{"testdata/lint/nilrecorder", NilRecorder},
+		{"testdata/lint/metricsdoc", MetricsDoc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.a.Name, func(t *testing.T) {
+			got := runFixture(t, tc.dir, tc.a)
+			if len(got) == 0 {
+				t.Fatalf("fixture %s produced no findings; each fixture must demonstrate its analyzer", tc.dir)
+			}
+			checkGolden(t, tc.dir, got)
+		})
+	}
+}
+
+func TestDocFlagsFixture(t *testing.T) {
+	dir := "testdata/lint/docsflags"
+	diags, err := DocFlags(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderRelative(t, dir, diags)
+	if len(got) == 0 {
+		t.Fatal("docsflags fixture produced no findings")
+	}
+	checkGolden(t, dir, got)
+}
+
+// TestRepoClean is the gate CI leans on: the full suite over the real
+// tree must come back empty.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(Config{})
+	docDiags, err := DocFlags(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = append(diags, docDiags...)
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestMainExitCodes drives the CLI core end to end: findings on a
+// fixture exit 1 (and render as JSON), the real repo exits 0.
+func TestMainExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	var out, errb bytes.Buffer
+	code := Main(MainConfig{Dir: "testdata/lint/hotpath", Patterns: []string{"."}, JSON: true, NoDocs: true}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("fixture run: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture run reported no findings")
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = Main(MainConfig{Dir: "../..", Patterns: []string{"./..."}}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("repo run: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "packages clean") {
+		t.Fatalf("repo run: missing clean summary, got %q", out.String())
+	}
+
+	code = Main(MainConfig{Dir: "does/not/exist"}, io.Discard, &errb)
+	if code != 2 {
+		t.Fatalf("bad dir: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: syntax with comments plus
+// the full types.Info the analyzers consume. Dependency packages inside
+// the module are loaded the same way, so cross-package annotation lookups
+// (nilrecorder) see their syntax too.
+type Package struct {
+	Path  string // import path ("fastcoalesce/internal/core")
+	Dir   string // absolute directory
+	Types *types.Package
+	Info  *types.Info
+	Files []*ast.File
+
+	okLines map[string]map[int]bool // fc:lint-ok lines per file, built lazily
+}
+
+// Program is the result of one Load: the root packages named by the
+// patterns, every module-local package reached from them, and the
+// annotation indexes the analyzers share.
+type Program struct {
+	Fset       *token.FileSet
+	Roots      []*Package
+	All        map[string]*Package // every module package loaded, by path
+	ModulePath string
+	ModuleRoot string
+
+	// nilOff is the fc:niloff annotation index: named types whose nil
+	// pointer means "off" (see the nilrecorder analyzer). Filled by
+	// collectAnnotations after loading.
+	nilOff map[*types.TypeName]bool
+}
+
+// loader type-checks module packages from source, memoized by import
+// path, and delegates everything else (the standard library) to the
+// stdlib source importer.
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	pkgs       map[string]*Package
+	loading    map[string]bool // cycle detection
+	std        types.ImporterFrom
+}
+
+func newLoader(moduleRoot, modulePath string) *loader {
+	// The source importer type-checks GOROOT packages from source; with
+	// cgo enabled it would try to parse cgo files (net, for instance), so
+	// force the pure-Go file selection.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &loader{
+		fset:       fset,
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.moduleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load
+// through the loader itself, anything else through the stdlib source
+// importer.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if rel, ok := l.moduleRel(path); ok {
+		p, err := l.load(filepath.Join(l.moduleRoot, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// moduleRel reports whether path names a package of the current module,
+// and its directory relative to the module root.
+func (l *loader) moduleRel(path string) (string, bool) {
+	if path == l.modulePath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.FromSlash(rest), true
+	}
+	return "", false
+}
+
+// load parses and type-checks the package in dir (import path ipath),
+// memoized. Test files are excluded: the invariants under lint are about
+// production code, and external test packages would double the work.
+func (l *loader) load(dir, ipath string) (*Package, error) {
+	if p, ok := l.pkgs[ipath]; ok {
+		return p, nil
+	}
+	if l.loading[ipath] {
+		return nil, fmt.Errorf("import cycle through %s", ipath)
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// A directory holds one non-test package; anything else (say a
+		// stray ignored file) is skipped rather than breaking the check.
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(ipath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", ipath, err)
+	}
+	p := &Package{Path: ipath, Dir: dir, Types: tpkg, Info: info, Files: files}
+	l.pkgs[ipath] = p
+	return p, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expand resolves one package pattern relative to base into package
+// directories. Patterns are the go-tool subset the repo needs: a
+// directory path, or a path ending in "/..." for a recursive walk.
+// Walks skip testdata, hidden, and underscore directories, mirroring the
+// go tool, so lint fixtures never leak into a real run.
+func expand(base, pattern string) ([]string, error) {
+	rec := false
+	if p, ok := strings.CutSuffix(pattern, "/..."); ok {
+		rec, pattern = true, p
+	} else if pattern == "..." {
+		rec, pattern = true, "."
+	}
+	dir := pattern
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(base, dir)
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("pattern %q: not a directory: %s", pattern, dir)
+	}
+	if !rec {
+		return []string{dir}, nil
+	}
+	var out []string
+	err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			out = append(out, p)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") &&
+			!strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load type-checks the packages matched by patterns (resolved relative
+// to base) and every module-local dependency, returning the Program the
+// analyzers run over.
+func Load(base string, patterns []string) (*Program, error) {
+	moduleRoot, modulePath, err := findModule(base)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(moduleRoot, modulePath)
+	prog := &Program{
+		Fset:       l.fset,
+		All:        l.pkgs,
+		ModulePath: modulePath,
+		ModuleRoot: moduleRoot,
+	}
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		dirs, err := expand(base, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			rel, err := filepath.Rel(moduleRoot, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("package %s is outside module %s", dir, moduleRoot)
+			}
+			ipath := modulePath
+			if rel != "." {
+				ipath = modulePath + "/" + filepath.ToSlash(rel)
+			}
+			if seen[ipath] {
+				continue
+			}
+			seen[ipath] = true
+			p, err := l.load(dir, ipath)
+			if err != nil {
+				return nil, err
+			}
+			prog.Roots = append(prog.Roots, p)
+		}
+	}
+	if len(prog.Roots) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	prog.collectAnnotations()
+	return prog, nil
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// MetricsDoc keeps OBSERVABILITY.md honest: every metric name passed as
+// a string literal to Registry.Counter/Gauge/Histogram, and every phase
+// name listed in the phaseNames table, must appear in the document. A
+// series that is exported but undocumented is invisible to whoever runs
+// the dashboards; the doc is the contract, so drift is a lint error.
+//
+// Only literal names are checked — a name built at runtime cannot be
+// matched against a document statically, and the codebase registers
+// every series with a literal anyway.
+var MetricsDoc = &Analyzer{
+	Name: "metricsdoc",
+	Doc:  "registered metric and phase names must appear in OBSERVABILITY.md",
+	Run:  runMetricsDoc,
+}
+
+// obsDocFile is the documentation file metric names are checked against,
+// relative to Pass.DocRoot.
+const obsDocFile = "OBSERVABILITY.md"
+
+func runMetricsDoc(p *Pass) {
+	info := p.Pkg.Info
+
+	// name -> first registration/listing position.
+	names := map[string]token.Pos{}
+	record := func(lit *ast.BasicLit) {
+		if lit.Kind != token.STRING {
+			return
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil || s == "" {
+			return
+		}
+		if _, seen := names[s]; !seen {
+			names[s] = lit.Pos()
+		}
+	}
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if lit := metricNameArg(info, n); lit != nil {
+					record(lit)
+				}
+			case *ast.ValueSpec:
+				// var phaseNames = [...]string{"parse", ...}
+				for i, name := range n.Names {
+					if name.Name != "phaseNames" || i >= len(n.Values) {
+						continue
+					}
+					cl, ok := n.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, el := range cl.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							el = kv.Value
+						}
+						if lit, ok := el.(*ast.BasicLit); ok {
+							record(lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(names) == 0 {
+		return
+	}
+
+	docPath := filepath.Join(p.DocRoot, obsDocFile)
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		// Report once, at the first registration: the doc the names are
+		// contracted to live in does not exist.
+		var first token.Pos
+		for _, pos := range names {
+			if first == token.NoPos || pos < first {
+				first = pos
+			}
+		}
+		p.Reportf(first, "cannot read %s: %v", obsDocFile, err)
+		return
+	}
+	text := string(doc)
+	for name, pos := range names {
+		if !containsWord(text, name) {
+			p.Reportf(pos, "metric or phase name %q is not documented in %s", name, obsDocFile)
+		}
+	}
+}
+
+// metricNameArg returns the first argument of a
+// Registry.Counter/Gauge/Histogram call when it is a string literal,
+// else nil. The receiver is matched by named type "Registry" so fixture
+// packages with their own registry shape exercise the same rule.
+func metricNameArg(info *types.Info, call *ast.CallExpr) *ast.BasicLit {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return nil
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil
+	}
+	tn := pointerReceiverType(s.Recv())
+	if tn == nil || tn.Name() != "Registry" {
+		return nil
+	}
+	lit, _ := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	return lit
+}
+
+// containsWord reports whether name occurs in text bounded by
+// non-identifier characters, so "cache_hits" inside
+// "fastcoalesce_cache_hits_total" does not count as documented.
+func containsWord(text, name string) bool {
+	for i := 0; i+len(name) <= len(text); i++ {
+		if text[i:i+len(name)] != name {
+			continue
+		}
+		if i > 0 && isWordByte(text[i-1]) {
+			continue
+		}
+		if j := i + len(name); j < len(text) && isWordByte(text[j]) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilRecorder enforces the "nil means off" contract of the
+// observability layer (and anything else annotated "// fc:niloff" on
+// its type declaration — obs.Recorder, obs.Tracer, the registry
+// instruments, cache.Cache). Two rules:
+//
+//  1. inside the declaring package, every exported pointer-receiver
+//     method either begins with a nil-receiver guard ("if r == nil {
+//     return ... }" as its first statement) or only delegates — it
+//     never touches a receiver field itself. Anything else panics the
+//     moment a caller passes the documented nil;
+//  2. outside the declaring package, code must not select fields of a
+//     nil-off value at all — only method calls are nil-safe. (Only
+//     exported fields are reachable anyway; the rule keeps them from
+//     ever becoming load-bearing.)
+var NilRecorder = &Analyzer{
+	Name: "nilrecorder",
+	Doc:  "fc:niloff types: exported methods nil-guard or delegate; no outside field access",
+	Run:  runNilRecorder,
+}
+
+func runNilRecorder(p *Pass) {
+	info := p.Pkg.Info
+
+	// Rule 1: methods of nil-off types declared in this package.
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverVar(info, fd)
+			if recv == nil {
+				continue
+			}
+			tn := pointerReceiverType(recv.Type())
+			if tn == nil || !p.Prog.nilOff[tn] {
+				continue
+			}
+			// Two accepted guard shapes, both as the first statement:
+			// "if r == nil { return ... }" clears the whole body, and
+			// "if r != nil { ... }" clears its own branch.
+			unguarded := []ast.Node{fd.Body}
+			if len(fd.Body.List) > 0 {
+				switch {
+				case beginsWithNilGuard(info, fd.Body, recv):
+					continue
+				case wrapsInNilGuard(info, fd.Body.List[0], recv):
+					unguarded = unguarded[:0]
+					ifs := fd.Body.List[0].(*ast.IfStmt)
+					if ifs.Else != nil {
+						unguarded = append(unguarded, ifs.Else)
+					}
+					for _, st := range fd.Body.List[1:] {
+						unguarded = append(unguarded, st)
+					}
+				}
+			}
+			if sel := receiverFieldUse(info, unguarded, recv); sel != nil {
+				p.Reportf(sel.Pos(), "exported method %s on nil-off type %s dereferences the receiver without a leading nil guard",
+					funcName(fd), tn.Name())
+			}
+		}
+	}
+
+	// Rule 2: field selections on nil-off types declared elsewhere.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel := info.Selections[se]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			tn := pointerReceiverType(info.TypeOf(se.X))
+			if tn == nil || !p.Prog.nilOff[tn] || tn.Pkg() == p.Pkg.Types {
+				return true
+			}
+			p.Reportf(se.Pos(), "direct field access %s on nil-off type %s.%s outside its package (call a method instead)",
+				exprString(se), tn.Pkg().Name(), tn.Name())
+			return true
+		})
+	}
+}
+
+// receiverVar returns the named receiver variable of fd, or nil for an
+// anonymous receiver (which cannot be dereferenced anyway).
+func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// pointerReceiverType unwraps *T (or T) to its named type's TypeName.
+func pointerReceiverType(t types.Type) *types.TypeName {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	if nt, ok := t.(*types.Named); ok {
+		return nt.Obj()
+	}
+	return nil
+}
+
+// beginsWithNilGuard reports whether the first statement of body is an
+// if whose condition checks recv against nil (possibly alongside other
+// conditions) and whose branch returns.
+func beginsWithNilGuard(info *types.Info, body *ast.BlockStmt, recv *types.Var) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		if (isRecv(info, be.X, recv) && isNil(info, be.Y)) ||
+			(isRecv(info, be.Y, recv) && isNil(info, be.X)) {
+			found = true
+		}
+		return !found
+	})
+	if !found || len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, returns := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return returns
+}
+
+// wrapsInNilGuard reports whether stmt is "if recv != nil { ... }":
+// receiver work confined to the branch is safe even without a leading
+// early return.
+func wrapsInNilGuard(info *types.Info, stmt ast.Stmt, recv *types.Var) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	be, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	return (isRecv(info, be.X, recv) && isNil(info, be.Y)) ||
+		(isRecv(info, be.Y, recv) && isNil(info, be.X))
+}
+
+// receiverFieldUse returns the first field selection (or dereference)
+// of recv in the given regions; a region free of them only delegates
+// through methods, which stay nil-safe on their own.
+func receiverFieldUse(info *types.Info, regions []ast.Node, recv *types.Var) ast.Expr {
+	var bad ast.Expr
+	for _, region := range regions {
+		ast.Inspect(region, func(n ast.Node) bool {
+			if bad != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if !isRecv(info, n.X, recv) {
+					return true
+				}
+				if sel := info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					bad = n
+				}
+			case *ast.StarExpr:
+				if isRecv(info, n.X, recv) {
+					bad = n.X
+				}
+			}
+			return bad == nil
+		})
+	}
+	return bad
+}
+
+// isRecv reports whether e is a direct use of the receiver variable.
+func isRecv(info *types.Info, e ast.Expr, recv *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == recv
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj
+}

@@ -1,0 +1,15 @@
+// Command coalesce is a docsflags fixture stub: only its flag
+// declarations matter; it is never built.
+package main
+
+import "flag"
+
+var (
+	algo  = flag.String("algo", "new", "algorithm")
+	trace = flag.Bool("trace", false, "trace decisions")
+)
+
+func main() {
+	flag.Parse()
+	_, _ = algo, trace
+}

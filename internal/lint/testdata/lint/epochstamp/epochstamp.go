@@ -1,0 +1,48 @@
+// Package epochfix is a lint fixture for the epochstamp analyzer: one
+// scratch struct using the generation-stamp idiom correctly (the decoy)
+// and one violating each rule.
+package epochfix
+
+// good follows the idiom exactly as the real Scratch types do, including
+// local aliases for the counter and the table.
+type good struct {
+	marks []uint32 // fc:stamp gen
+	gen   uint32   // fc:epoch
+}
+
+func (g *good) visit(ids []int) int {
+	g.gen++
+	if g.gen == 0 {
+		clear(g.marks[:cap(g.marks)])
+		g.gen = 1
+	}
+	cur := g.gen
+	marks := g.marks
+	seen := 0
+	for _, id := range ids {
+		if marks[id] == cur {
+			continue
+		}
+		marks[id] = cur
+		if g.marks[id] != g.gen {
+			continue
+		}
+		g.marks[id] = g.gen - 1
+		seen++
+	}
+	return seen
+}
+
+// bad violates one rule per construct.
+type bad struct {
+	slots  []uint32 // fc:stamp tick
+	tick   uint32   // fc:epoch
+	stale  []uint32 // fc:stamp missing
+	frozen uint32   // fc:epoch
+}
+
+func (b *bad) touch(id int, raw uint32) bool {
+	b.tick++ // no wraparound guard anywhere in this function
+	b.slots[id] = raw
+	return b.slots[id] > 0
+}

@@ -1,0 +1,79 @@
+// Package hotpathfix is a lint fixture: annotated functions exercising
+// every construct the hotpath analyzer bans, next to clean decoys that
+// must stay silent.
+package hotpathfix
+
+import "fmt"
+
+type sink interface{ Write(p []byte) (int, error) }
+
+type point struct{ x, y int }
+
+type state struct {
+	buf   []byte
+	names map[string]int
+	cmp   func(a, b int) int
+}
+
+func (s *state) compare(a, b int) int { return a - b }
+
+// hotAllocates trips every banned construct once.
+//
+// fc:hotpath
+func hotAllocates(s *state, w sink, label string) {
+	s.names = make(map[string]int)
+	c := make(chan int, 1)
+	_ = c
+	p := new(point)
+	_ = p
+	fmt.Println(label)
+	label = label + "!"
+	label += "?"
+	f := func() int { return p.x }
+	_ = f
+	s.cmp = s.compare
+	var any interface{} = point{1, 2}
+	_ = any
+	lut := map[int]int{1: 2}
+	_ = lut
+}
+
+// hotLaunders hides an allocation behind a same-package helper; the
+// one-level propagation must find it.
+//
+// fc:hotpath
+func hotLaunders(s *state) {
+	helper(s)
+}
+
+func helper(s *state) {
+	s.names = make(map[string]int)
+}
+
+// hotClean is the decoy: slice growth, appends, arithmetic, and constant
+// strings are all sanctioned on hot paths.
+//
+// fc:hotpath
+func hotClean(s *state, vs []int) int {
+	s.buf = s.buf[:0]
+	tmp := make([]int, 0, len(vs))
+	total := 0
+	for _, v := range vs {
+		tmp = append(tmp, v)
+		total += v
+		s.buf = append(s.buf, byte(v))
+	}
+	const greeting = "hello, " + "world"
+	_ = greeting
+	return total
+}
+
+// hotAcknowledged contains one allocation acknowledged in place, which
+// must not be reported.
+//
+// fc:hotpath
+func hotAcknowledged(s *state) {
+	if s.names == nil {
+		s.names = make(map[string]int) // fc:lint-ok one-time lazy init
+	}
+}

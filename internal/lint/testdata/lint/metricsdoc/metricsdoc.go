@@ -1,0 +1,31 @@
+// Package metricfix is a lint fixture for the metricsdoc analyzer: a
+// miniature registry shaped like obs.Registry, registrations of a
+// documented and an undocumented series, and a phaseNames table with one
+// undocumented phase. The doc checked against is this directory's
+// OBSERVABILITY.md.
+package metricfix
+
+// Counter is a stub instrument.
+type Counter struct{ v int64 }
+
+// Gauge is a stub instrument.
+type Gauge struct{ v int64 }
+
+// Registry matches the shape the analyzer keys on: get-or-create
+// methods named Counter/Gauge/Histogram on a type named Registry.
+type Registry struct{}
+
+// Counter returns a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+var phaseNames = [...]string{"scan", "emit", "undocumented-phase"}
+
+// Register creates one documented and one undocumented series.
+func Register(r *Registry) {
+	r.Counter("fixture_jobs_total", "documented in the fixture doc")
+	r.Gauge("fixture_mystery_bytes", "missing from the fixture doc")
+	_ = phaseNames
+}

@@ -1,0 +1,37 @@
+// Package obslike is a lint fixture for the nilrecorder analyzer: a
+// nil-off type with guarded, delegating, and unguarded methods.
+package obslike
+
+// Rec counts events; nil means "recording off".
+//
+// fc:niloff
+type Rec struct {
+	N     int64
+	label string
+}
+
+// Hit is the early-return guard form (decoy).
+func (r *Rec) Hit() {
+	if r == nil {
+		return
+	}
+	r.N++
+}
+
+// HitIf is the wrapping guard form (decoy).
+func (r *Rec) HitIf() {
+	if r != nil {
+		r.N++
+	}
+}
+
+// Twice only delegates to nil-safe methods (decoy).
+func (r *Rec) Twice() {
+	r.Hit()
+	r.Hit()
+}
+
+// Label dereferences the receiver with no guard at all.
+func (r *Rec) Label() string {
+	return r.label
+}

@@ -1,0 +1,16 @@
+// Package use is the call-site half of the nilrecorder fixture: method
+// calls on a nil-off value are fine, reaching into its fields is not.
+package use
+
+import "fastcoalesce/internal/lint/testdata/lint/nilrecorder/obslike"
+
+// Count goes through methods only (decoy).
+func Count(r *obslike.Rec) {
+	r.Hit()
+	r.Twice()
+}
+
+// Peek reads a field of a nil-off type from outside its package.
+func Peek(r *obslike.Rec) int64 {
+	return r.N
+}

@@ -63,8 +63,8 @@ type Scratch struct {
 	frames []dfsFrame
 
 	queue  []ir.BlockID
-	queued []uint32
-	epoch  uint32
+	queued []uint32 // fc:stamp epoch
+	epoch  uint32   // fc:epoch
 
 	stats Stats
 }
@@ -93,6 +93,8 @@ func Compute(f *ir.Func) *Info {
 // memory. The returned Info aliases sc and is invalidated by the next
 // Compute*Scratch call with the same Scratch. A warm Scratch makes the
 // whole computation allocation-free.
+//
+// fc:hotpath
 func ComputeScratch(f *ir.Func, sc *Scratch) *Info {
 	li, order := sc.prepare(f)
 	nv := f.NumVars()

@@ -1,131 +1,33 @@
 // Command docscheck keeps the documentation's shell transcripts honest:
-// every `-flag` used in a fenced code block that invokes ./cmd/coalesce,
-// ./cmd/coalesced, or ./cmd/experiments must be a flag the binary
-// actually declares.
-// Stale docs are the usual failure mode of a README rewrite — a flag is
-// renamed in code and the transcript keeps advertising the old name —
-// so CI runs this from the repo root (see the docs job in ci.yml):
+// every `-flag` used in a fenced code block that invokes one of the
+// repo's binaries must be a flag the binary actually declares.
+//
+// The check itself lives in internal/lint (DocFlags), where it runs as
+// part of the full fclint suite; this command remains as the thin CI
+// entry point the docs job has always invoked from the repo root:
 //
 //	go run ./internal/obs/docscheck
-//
-// The flag sets are recovered by scanning cmd/*/main.go for
-// flag.String/Bool/Int/... declarations, which is exactly how the
-// binaries define them; no binary needs to be built.
 package main
 
 import (
 	"fmt"
 	"os"
-	"path/filepath"
-	"regexp"
-	"strings"
+
+	"fastcoalesce/internal/lint"
 )
 
-// flagDecl matches flag declarations like flag.String("algo", ...).
-var flagDecl = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([^"]+)"`)
-
-// cmdInvoke matches a documented invocation of one of our binaries and
-// captures which one. "coalesced" must precede "coalesce" in each
-// alternation or the regex stops at the shorter prefix and the \b fails.
-var cmdInvoke = regexp.MustCompile(`(?:\./|/)cmd/(coalesced|coalesce|experiments)\b|(?:^|\s)(coalesced|coalesce|experiments)\s+-`)
-
 func main() {
-	if err := run(); err != nil {
+	diags, err := lint.DocFlags(".")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(1)
 	}
-}
-
-func run() error {
-	flags := map[string]map[string]bool{}
-	for _, cmd := range []string{"coalesce", "coalesced", "experiments"} {
-		set, err := declaredFlags(filepath.Join("cmd", cmd, "main.go"))
-		if err != nil {
-			return fmt.Errorf("%s (run from the repo root): %w", cmd, err)
+	if len(diags) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: stale flags in documentation:")
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "  %s:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Message)
 		}
-		flags[cmd] = set
+		os.Exit(1)
 	}
-
-	docs := []string{"README.md", "OBSERVABILITY.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "SERVING.md"}
-	var bad []string
-	for _, doc := range docs {
-		data, err := os.ReadFile(doc)
-		if err != nil {
-			return err
-		}
-		bad = append(bad, checkDoc(doc, string(data), flags)...)
-	}
-	if len(bad) > 0 {
-		return fmt.Errorf("stale flags in documentation:\n  %s", strings.Join(bad, "\n  "))
-	}
-	fmt.Printf("docscheck: %d docs clean against %d+%d+%d flags\n",
-		len(docs), len(flags["coalesce"]), len(flags["coalesced"]), len(flags["experiments"]))
-	return nil
-}
-
-// declaredFlags scans a main.go for the flags it registers.
-func declaredFlags(path string) (map[string]bool, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	set := map[string]bool{}
-	for _, m := range flagDecl.FindAllStringSubmatch(string(data), -1) {
-		set[m[1]] = true
-	}
-	if len(set) == 0 {
-		return nil, fmt.Errorf("no flag declarations found in %s", path)
-	}
-	return set, nil
-}
-
-// checkDoc walks the fenced code blocks of one markdown file and
-// verifies the -flag tokens on lines that invoke a known binary.
-func checkDoc(name, text string, flags map[string]map[string]bool) []string {
-	var bad []string
-	inFence := false
-	for ln, line := range strings.Split(text, "\n") {
-		if strings.HasPrefix(strings.TrimSpace(line), "```") {
-			inFence = !inFence
-			continue
-		}
-		if !inFence {
-			continue
-		}
-		m := cmdInvoke.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		cmd := m[1]
-		if cmd == "" {
-			cmd = m[2]
-		}
-		for _, tok := range strings.Fields(line) {
-			if !strings.HasPrefix(tok, "-") || tok == "-" || strings.HasPrefix(tok, "--") {
-				continue
-			}
-			f := strings.TrimPrefix(tok, "-")
-			if i := strings.IndexByte(f, '='); i >= 0 {
-				f = f[:i]
-			}
-			if f == "" || !isFlagName(f) {
-				continue // a negative number or prose dash, not a flag
-			}
-			if !flags[cmd][f] {
-				bad = append(bad, fmt.Sprintf("%s:%d: %s has no flag -%s", name, ln+1, cmd, f))
-			}
-		}
-	}
-	return bad
-}
-
-// isFlagName filters tokens that merely start with '-': flag names are
-// lowercase letters (our binaries use no digits or punctuation).
-func isFlagName(s string) bool {
-	for _, r := range s {
-		if r < 'a' || r > 'z' {
-			return false
-		}
-	}
-	return true
+	fmt.Println("docscheck: documentation transcripts clean")
 }

@@ -116,6 +116,8 @@ type Options struct {
 // registry, hands out per-worker Tracers, and merges their rings. The
 // zero of *Recorder (nil) means "observability off" and is safe to pass
 // everywhere a Recorder is accepted.
+//
+// fc:niloff
 type Recorder struct {
 	epoch   time.Time
 	ringCap int
@@ -284,6 +286,8 @@ type frame struct {
 //
 // A Tracer belongs to one goroutine; only the ring is shared (with
 // snapshot readers), under the tracer's mutex.
+//
+// fc:niloff
 type Tracer struct {
 	rec      *Recorder
 	id       int32
@@ -317,6 +321,8 @@ func (t *Tracer) EndJob() {
 }
 
 // Begin opens a span for phase p.
+//
+// fc:hotpath
 func (t *Tracer) Begin(p Phase) {
 	if t == nil {
 		return
@@ -332,6 +338,8 @@ func (t *Tracer) Begin(p Phase) {
 // End closes the innermost open span. The phase argument is a
 // cross-check: a mismatch (unbalanced instrumentation) records the span
 // under the phase Begin saw, so the timeline stays truthful.
+//
+// fc:hotpath
 func (t *Tracer) End(p Phase) {
 	if t == nil {
 		return

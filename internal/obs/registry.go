@@ -20,9 +20,13 @@ func L(k, v string) Label { return Label{K: k, V: v} }
 
 // Counter is a monotonically increasing int64. Methods are atomic and
 // safe on a nil receiver (the "registry off" case).
+//
+// fc:niloff
 type Counter struct{ v atomic.Int64 }
 
 // Add increases the counter by d.
+//
+// fc:hotpath
 func (c *Counter) Add(d int64) {
 	if c != nil {
 		c.v.Add(d)
@@ -41,9 +45,13 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a settable int64. Methods are atomic and nil-safe.
+//
+// fc:niloff
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+// fc:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -51,6 +59,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by d (useful for in-flight counts).
+//
+// fc:hotpath
 func (g *Gauge) Add(d int64) {
 	if g != nil {
 		g.v.Add(d)
@@ -69,6 +79,8 @@ func (g *Gauge) Value() int64 {
 // are upper-inclusive (Prometheus "le" semantics); one implicit +Inf
 // bucket catches the rest. Observe is one binary search plus two atomic
 // adds — no allocation, safe concurrently, nil-safe.
+//
+// fc:niloff
 type Histogram struct {
 	bounds []int64
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
@@ -88,6 +100,8 @@ func Pow2Buckets(lo, n int) []int64 {
 }
 
 // Observe records v.
+//
+// fc:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -158,6 +172,8 @@ type metric struct {
 // pointer for per-job atomic updates. All methods are safe on a nil
 // receiver, returning nil instruments whose methods are no-ops — the
 // whole metrics path costs nothing when observability is off.
+//
+// fc:niloff
 type Registry struct {
 	mu   sync.Mutex
 	by   map[string]*metric
