@@ -14,6 +14,9 @@
 //
 //	-algo     standard | new | briggs | briggs*   (default new)
 //	-ssa      pruned | semi | minimal             (default pruned)
+//	-domsolver  chk | semi-nca: dominator algorithm  (default chk)
+//	-livesolver worklist | round-robin | sparse: liveness algorithm
+//	          (default worklist); both solver flags are output-invariant
 //	-dump-in  print the input IR
 //	-dump-ssa print the SSA form before destruction
 //	-stats    print conversion statistics
@@ -51,11 +54,13 @@ import (
 	"fastcoalesce/internal/analysis"
 	"fastcoalesce/internal/cache"
 	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/dom"
 	"fastcoalesce/internal/driver"
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/interp"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/liveness"
 	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/obs/obshttp"
 	"fastcoalesce/internal/opt"
@@ -74,6 +79,8 @@ func main() {
 func realMain() error {
 	algo := flag.String("algo", "new", "standard | new | briggs | briggs*")
 	flavor := flag.String("ssa", "pruned", "pruned | semi | minimal")
+	domSolverName := flag.String("domsolver", "chk", "dominator solver: chk | semi-nca")
+	liveSolverName := flag.String("livesolver", "worklist", "liveness solver: worklist | round-robin | sparse")
 	dumpIn := flag.Bool("dump-in", false, "print the input IR")
 	dumpSSA := flag.Bool("dump-ssa", false, "print the SSA form")
 	stats := flag.Bool("stats", false, "print conversion statistics")
@@ -93,15 +100,24 @@ func realMain() error {
 	if err != nil {
 		return err
 	}
+	domSolver, err := dom.ParseSolver(*domSolverName)
+	if err != nil {
+		return err
+	}
+	liveSolver, err := liveness.ParseSolver(*liveSolverName)
+	if err != nil {
+		return err
+	}
+	solvers := solverChoice{dom: domSolver, live: liveSolver}
 
 	if *serve != "" {
 		if *batch == "" {
 			return fmt.Errorf("-serve needs -batch <dir> to know what to compile")
 		}
-		return runServe(*batch, *algo, *jobs, check, *cachemb, *serve, *interval, *rounds, *trace)
+		return runServe(*batch, *algo, *jobs, check, *cachemb, *serve, *interval, *rounds, *trace, solvers)
 	}
 	if *batch != "" {
-		return runBatch(*batch, *algo, *jobs, *stats, check, *cachemb, *trace)
+		return runBatch(*batch, *algo, *jobs, *stats, check, *cachemb, *trace, solvers)
 	}
 	if *cachemb != 0 {
 		return fmt.Errorf("-cachemb applies to -batch and -serve modes")
@@ -146,14 +162,20 @@ func realMain() error {
 	}
 
 	for _, f := range funcs {
-		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs, check); err != nil {
+		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs, check, solvers); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string, check analysis.Level) error {
+// solverChoice carries the substrate-solver flags through the call tree.
+type solverChoice struct {
+	dom  dom.Solver
+	live liveness.Solver
+}
+
+func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string, check analysis.Level, solvers solverChoice) error {
 	if dumpIn {
 		fmt.Printf("=== input %s ===\n%s\n", orig.Name, orig)
 	}
@@ -170,7 +192,10 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 		f.SplitCriticalEdges()
 		ssaStats = &ssa.Stats{}
 	} else {
-		ssaStats = ssa.Build(f, ssa.Options{Flavor: fl, FoldCopies: fold})
+		ssaStats = ssa.Build(f, ssa.Options{
+			Flavor: fl, FoldCopies: fold,
+			DomSolver: solvers.dom, LiveSolver: solvers.live,
+		})
 	}
 	if optimize {
 		if !fold {
@@ -205,7 +230,10 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 				ds.CopiesInserted, ds.TempsCreated)
 		}
 	case "new":
-		cs := core.Coalesce(f, core.Options{RecordNameMap: check != analysis.None})
+		cs := core.Coalesce(f, core.Options{
+			RecordNameMap: check != analysis.None,
+			DomSolver:     solvers.dom, LiveSolver: solvers.live,
+		})
 		nameMap = cs.NameMap
 		if stats {
 			fmt.Printf("%s: φs=%d folded=%d unions=%d filters=%v forest-splits=%d local-splits=%d rounds=%d copies=%d classes=%d\n",
@@ -404,7 +432,7 @@ func buildCache(cachemb int, rec *obs.Recorder) *cache.Cache {
 // runBatch compiles every .kl/.ir file under dir through the concurrent
 // batch driver, prints one summary line per function in deterministic
 // (path) order, and finishes with the batch metrics table.
-func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level, cachemb int, tracePath string) error {
+func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level, cachemb int, tracePath string, solvers solverChoice) error {
 	algo, err := driver.ParseAlgo(algoName)
 	if err != nil {
 		return err
@@ -423,6 +451,7 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 
 	results, snap := driver.Run(batchJobs, driver.Config{
 		Algo: algo, Workers: workers, Check: check, Obs: rec,
+		DomSolver: solvers.dom, LiveSolver: solvers.live,
 		Cache: buildCache(cachemb, rec), Revalidate: check != analysis.None,
 	})
 	bad, findings := 0, 0
@@ -466,7 +495,7 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 // recompiles from scratch. SIGINT/SIGTERM cancels the context;
 // in-flight jobs drain, the exporter shuts down gracefully, and the
 // session report prints.
-func runServe(dir, algoName string, workers int, check analysis.Level, cachemb int, addr string, interval time.Duration, rounds int, tracePath string) error {
+func runServe(dir, algoName string, workers int, check analysis.Level, cachemb int, addr string, interval time.Duration, rounds int, tracePath string, solvers solverChoice) error {
 	algo, err := driver.ParseAlgo(algoName)
 	if err != nil {
 		return err
@@ -496,6 +525,7 @@ func runServe(dir, algoName string, workers int, check analysis.Level, cachemb i
 
 	cfg := driver.Config{
 		Algo: algo, Workers: workers, Check: check, Obs: rec,
+		DomSolver: solvers.dom, LiveSolver: solvers.live,
 		Cache: buildCache(cachemb, rec), Revalidate: check != analysis.None,
 	}
 	rep := driver.Serve(ctx, batchJobs, cfg, driver.ServeOptions{

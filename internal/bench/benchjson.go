@@ -35,8 +35,10 @@ type BenchEntry struct {
 }
 
 // ScalingEntry is one size point of the O(n α(n)) study (best-of-3 phase
-// times, seconds).
+// times, seconds). Family is empty for the kernel-language generator and
+// names a famgen.go builder for the substrate-stress points.
 type ScalingEntry struct {
+	Family     string  `json:"family,omitempty"`
 	Stmts      int     `json:"stmts"`
 	Blocks     int     `json:"blocks"`
 	StandardNs float64 `json:"standard_ns"`
@@ -57,8 +59,9 @@ type BenchReport struct {
 	Workloads []BenchEntry   `json:"workloads"`
 	Micro     []BenchEntry   `json:"micro"`
 	Scaling   []ScalingEntry `json:"scaling"`
-	Cache     []BenchEntry   `json:"cache,omitempty"` // result-cache off/fill/hit batch costs
-	Serve     []BenchEntry   `json:"serve,omitempty"` // warm shard-pool submit floor per shard count
+	Solvers   []SolverEntry  `json:"solvers,omitempty"` // substrate-solver crossover sweep
+	Cache     []BenchEntry   `json:"cache,omitempty"`   // result-cache off/fill/hit batch costs
+	Serve     []BenchEntry   `json:"serve,omitempty"`   // warm shard-pool submit floor per shard count
 }
 
 // measureSpan runs body n times and returns per-op time, allocation
@@ -260,6 +263,38 @@ func scalingEntries() ([]ScalingEntry, error) {
 		se.StarNs = float64(best[BriggsStar].Nanoseconds())
 		out = append(out, se)
 	}
+	// Substrate-stress family points: the same best-of-3 full-pipeline
+	// measurement over the famgen.go CFGs, so the scaling section covers
+	// shapes (deep nests, wide joins, irreducible regions) the kernel
+	// generator cannot emit.
+	for _, fam := range Families() {
+		for _, size := range []int{64, 256} {
+			f := fam.Build(size)
+			if err := f.Verify(); err != nil {
+				return nil, fmt.Errorf("%s/%d: %w", fam.Name, size, err)
+			}
+			se := ScalingEntry{Family: fam.Name, Stmts: f.NumInstrs(), Blocks: f.NumBlocks()}
+			best := map[Algo]time.Duration{}
+			var newAlgo time.Duration
+			for rep := 0; rep < 3; rep++ {
+				for _, algo := range []Algo{Standard, New, Briggs, BriggsStar} {
+					r := RunPipeline(f, algo)
+					if d, ok := best[algo]; !ok || r.PhaseDuration < d {
+						best[algo] = r.PhaseDuration
+						if algo == New {
+							newAlgo = r.CoreStats.AlgoTime
+						}
+					}
+				}
+			}
+			se.StandardNs = float64(best[Standard].Nanoseconds())
+			se.NewNs = float64(best[New].Nanoseconds())
+			se.NewAlgoNs = float64(newAlgo.Nanoseconds())
+			se.BriggsNs = float64(best[Briggs].Nanoseconds())
+			se.StarNs = float64(best[BriggsStar].Nanoseconds())
+			out = append(out, se)
+		}
+	}
 	return out, nil
 }
 
@@ -291,6 +326,11 @@ func RunBenchJSON(label string, repeat int) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Scaling = scaling
+	solvers, err := RunSolverSweep()
+	if err != nil {
+		return nil, err
+	}
+	rep.Solvers = solvers
 	cacheB, err := cacheEntries()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,189 @@
+package bench
+
+import "fastcoalesce/internal/ir"
+
+// CFG families that stress dominator computation and liveness in ways the
+// 29 memorized workloads cannot: depth (long idom chains and intersect
+// ladders), width (many short live ranges across diamond joins), and
+// irreducibility (regions where the CHK iterative solver needs extra
+// sweeps while SEMI-NCA stays single-pass). The builders emit verifying
+// IR directly — the kernel language cannot express irreducible flow — so
+// the same functions feed the solver crossover sweep, the differential
+// tests, and the pipeline scaling study.
+
+// CFGFamily names one generator; Build returns a function whose block
+// count grows linearly in size.
+type CFGFamily struct {
+	Name  string
+	Build func(size int) *ir.Func
+}
+
+// Families returns the substrate-stress generators, in report order.
+func Families() []CFGFamily {
+	return []CFGFamily{
+		{Name: "deep-loops", Build: DeepLoopNest},
+		{Name: "diamond-ladder", Build: DiamondLadder},
+		{Name: "irreducible-ladder", Build: IrreducibleLadder},
+	}
+}
+
+// DeepLoopNest builds n nested while-loops: each header h_i conditionally
+// enters the next level or exits to the latch of the level above, and
+// each latch jumps back to its header. The dominator tree is one long
+// chain (worst case for CHK's intersect ladder), and every loop level
+// adds a back edge the iterative solver must re-walk.
+func DeepLoopNest(n int) *ir.Func {
+	if n < 1 {
+		n = 1
+	}
+	f := ir.NewFunc("deep_loops")
+	x := f.NewVar("x")
+	entry := f.Blocks[f.Entry]
+	headers := make([]*ir.Block, n+1) // 1-based
+	latches := make([]*ir.Block, n+1)
+	for i := 1; i <= n; i++ {
+		headers[i] = f.NewBlock()
+	}
+	body := f.NewBlock()
+	for i := 1; i <= n; i++ {
+		latches[i] = f.NewBlock()
+	}
+	ret := f.NewBlock()
+
+	f.AddEdge(entry.ID, headers[1].ID)
+	for i := 1; i <= n; i++ {
+		inner := body
+		if i < n {
+			inner = headers[i+1]
+		}
+		out := ret
+		if i > 1 {
+			out = latches[i-1]
+		}
+		f.AddEdge(headers[i].ID, inner.ID)
+		f.AddEdge(headers[i].ID, out.ID)
+		f.AddEdge(latches[i].ID, headers[i].ID)
+	}
+	f.AddEdge(body.ID, latches[n].ID)
+
+	entry.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Def: x, Const: 1},
+		{Op: ir.OpJmp, Def: ir.NoVar},
+	}
+	for i := 1; i <= n; i++ {
+		headers[i].Instrs = []ir.Instr{
+			{Op: ir.OpAdd, Def: x, Args: []ir.VarID{x, x}},
+			{Op: ir.OpBr, Def: ir.NoVar, Args: []ir.VarID{x}},
+		}
+		latches[i].Instrs = []ir.Instr{
+			{Op: ir.OpAdd, Def: x, Args: []ir.VarID{x, x}},
+			{Op: ir.OpJmp, Def: ir.NoVar},
+		}
+	}
+	body.Instrs = []ir.Instr{
+		{Op: ir.OpAdd, Def: x, Args: []ir.VarID{x, x}},
+		{Op: ir.OpJmp, Def: ir.NoVar},
+	}
+	ret.Instrs = []ir.Instr{
+		{Op: ir.OpRet, Def: ir.NoVar, Args: []ir.VarID{x}},
+	}
+	return f
+}
+
+// DiamondLadder builds n stacked diamonds. Each rung defines its own
+// local variable in both arms and consumes it at the join, so the
+// variable count grows with n while every live range stays three blocks
+// long — dense bitset liveness pays n²/64 word operations for an answer
+// of linear size, which is exactly where the sparse per-variable solver
+// crosses over.
+func DiamondLadder(n int) *ir.Func {
+	if n < 1 {
+		n = 1
+	}
+	f := ir.NewFunc("diamond_ladder")
+	c := f.NewVar("c")
+	acc := f.NewVar("acc")
+	locals := make([]ir.VarID, n)
+	for i := range locals {
+		locals[i] = f.NewVar("")
+	}
+	entry := f.Blocks[f.Entry]
+	entry.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Def: c, Const: 1},
+		{Op: ir.OpConst, Def: acc, Const: 0},
+		{Op: ir.OpJmp, Def: ir.NoVar},
+	}
+	prev := entry
+	for i := 0; i < n; i++ {
+		head := f.NewBlock()
+		left := f.NewBlock()
+		right := f.NewBlock()
+		join := f.NewBlock()
+		f.AddEdge(prev.ID, head.ID)
+		f.AddEdge(head.ID, left.ID)
+		f.AddEdge(head.ID, right.ID)
+		f.AddEdge(left.ID, join.ID)
+		f.AddEdge(right.ID, join.ID)
+		w := locals[i]
+		head.Instrs = []ir.Instr{{Op: ir.OpBr, Def: ir.NoVar, Args: []ir.VarID{acc}}}
+		left.Instrs = []ir.Instr{
+			{Op: ir.OpAdd, Def: w, Args: []ir.VarID{acc, acc}},
+			{Op: ir.OpJmp, Def: ir.NoVar},
+		}
+		right.Instrs = []ir.Instr{
+			{Op: ir.OpAdd, Def: w, Args: []ir.VarID{acc, c}},
+			{Op: ir.OpJmp, Def: ir.NoVar},
+		}
+		join.Instrs = []ir.Instr{
+			{Op: ir.OpAdd, Def: acc, Args: []ir.VarID{acc, w}},
+			{Op: ir.OpJmp, Def: ir.NoVar},
+		}
+		prev = join
+	}
+	ret := f.NewBlock()
+	f.AddEdge(prev.ID, ret.ID)
+	ret.Instrs = []ir.Instr{{Op: ir.OpRet, Def: ir.NoVar, Args: []ir.VarID{acc}}}
+	return f
+}
+
+// IrreducibleLadder chains n two-headed regions: e_i branches into both
+// p_i and q_i, which form a cycle neither dominates. The CHK solver
+// converges only after extra reverse-postorder sweeps on such regions
+// (its worst case compounds down the ladder) while the semidominator
+// pass is order-insensitive.
+func IrreducibleLadder(n int) *ir.Func {
+	if n < 1 {
+		n = 1
+	}
+	f := ir.NewFunc("irreducible_ladder")
+	x := f.NewVar("x")
+	entry := f.Blocks[f.Entry]
+	entry.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Def: x, Const: 1},
+		{Op: ir.OpJmp, Def: ir.NoVar},
+	}
+	prev := entry
+	for i := 0; i < n; i++ {
+		e := f.NewBlock()
+		p := f.NewBlock()
+		q := f.NewBlock()
+		f.AddEdge(prev.ID, e.ID)
+		f.AddEdge(e.ID, p.ID)
+		f.AddEdge(e.ID, q.ID)
+		f.AddEdge(q.ID, p.ID)
+		// p's exit edge continues the ladder; its other edge closes the
+		// two-headed cycle.
+		f.AddEdge(p.ID, q.ID)
+		e.Instrs = []ir.Instr{{Op: ir.OpBr, Def: ir.NoVar, Args: []ir.VarID{x}}}
+		p.Instrs = []ir.Instr{{Op: ir.OpBr, Def: ir.NoVar, Args: []ir.VarID{x}}}
+		q.Instrs = []ir.Instr{
+			{Op: ir.OpAdd, Def: x, Args: []ir.VarID{x, x}},
+			{Op: ir.OpJmp, Def: ir.NoVar},
+		}
+		prev = p
+	}
+	ret := f.NewBlock()
+	f.AddEdge(prev.ID, ret.ID)
+	ret.Instrs = []ir.Instr{{Op: ir.OpRet, Def: ir.NoVar, Args: []ir.VarID{x}}}
+	return f
+}

@@ -69,6 +69,13 @@ type Options struct {
 	// does not change between construction and destruction).
 	Dom *dom.Tree
 
+	// DomSolver and LiveSolver select the substrate algorithms used when
+	// Coalesce must run the analyses itself (DomSolver only matters when
+	// Dom is nil). The answers are identical for every choice; only the
+	// cost model differs. Zero values are the defaults.
+	DomSolver  dom.Solver
+	LiveSolver liveness.Solver
+
 	// Trace, when non-nil, receives a line for each interference found
 	// and each split/cut performed — a debugging aid.
 	Trace func(string)
@@ -109,7 +116,8 @@ type Stats struct {
 	ClassMembers   int    // members across those classes
 	CopiesInserted int    // copies materialized in step 4 (incl. temps)
 	TempsCreated   int    // cycle/terminator temporaries
-	LivenessVisits int    // block evaluations of the worklist liveness solver
+	LivenessVisits int    // liveness solver work (liveness.Stats.Visits)
+	DomRecomputes  int    // dominator computations run here (0 if Options.Dom reused)
 
 	// NameMap, filled when Options.RecordNameMap is set, maps every
 	// SSA-form VarID present before rewriting to the name it carries in
@@ -273,11 +281,17 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 	nv := f.NumVars()
 	nb := len(f.Blocks)
 	dt := opt.Dom
+	domRecomputes := 0
 	if dt == nil {
-		opt.Obs.Begin(obs.PhaseDom)
-		sc.dom.Recompute(f)
+		dp := obs.PhaseDom
+		if opt.DomSolver == dom.SemiNCA {
+			dp = obs.PhaseDomSNCA
+		}
+		opt.Obs.Begin(dp)
+		sc.dom.RecomputeWith(f, opt.DomSolver)
 		dt = &sc.dom
-		opt.Obs.End(obs.PhaseDom)
+		domRecomputes = 1
+		opt.Obs.End(dp)
 	}
 	sc.defBlock = reuse.Slice(sc.defBlock, nv)
 	sc.defIdx = reuse.Slice(sc.defIdx, nv)
@@ -300,10 +314,14 @@ func newCoalescer(f *ir.Func, opt Options, sc *Scratch) *coalescer {
 	sc.adjGen = reuse.Slice(sc.adjGen, nv)
 	sc.via = reuse.Slice(sc.via, nv)
 	sc.viaGen = reuse.Slice(sc.viaGen, nv)
-	sc.st = Stats{}
-	opt.Obs.Begin(obs.PhaseLiveness)
-	live := liveness.ComputeScratch(f, &sc.live)
-	opt.Obs.End(obs.PhaseLiveness)
+	sc.st = Stats{DomRecomputes: domRecomputes}
+	lp := obs.PhaseLiveness
+	if opt.LiveSolver == liveness.Sparse {
+		lp = obs.PhaseLivenessSparse
+	}
+	opt.Obs.Begin(lp)
+	live := liveness.ComputeWith(f, &sc.live, opt.LiveSolver)
+	opt.Obs.End(lp)
 	sc.st.LivenessVisits = sc.live.LastStats().Visits
 	c := &sc.co
 	*c = coalescer{

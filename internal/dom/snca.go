@@ -1,0 +1,186 @@
+// SEMI-NCA immediate dominators (Georgiadis et al.; the DSU framing is
+// "Finding Dominators via Disjoint Set Union", Fraczak/Georgiadis/Tarjan).
+//
+// The algorithm runs in three passes over one DFS of the CFG:
+//
+//  1. a DFS from the entry assigns preorder numbers (vertex/dfn/parent)
+//     and, on the way back up, the postorder that becomes RPO — the same
+//     traversal CHK uses, so both solvers pay for exactly one DFS;
+//  2. semidominators are computed in reverse preorder with the classic
+//     Lengauer-Tarjan eval/link over a disjoint-set ancestor forest; the
+//     forest uses iterative path compression without rank balancing (the
+//     internal/unionfind idiom — correctness does not depend on
+//     balancing, and compression alone gives the near-linear bound);
+//  3. immediate dominators follow by the SEMI-NCA observation: idom(w) is
+//     the nearest common ancestor of parent(w) and sdom(w) in the
+//     dominator tree built so far, found by walking idom links upward
+//     from parent(w) until the preorder number drops to sdom(w) or below.
+//     Processing w in ascending preorder makes every link on that walk
+//     final when it is read.
+//
+// Everything here is preorder-space int32 arithmetic over reused slices:
+// a warm Tree recomputes with zero allocations (see TestSemiNCAZeroAlloc).
+package dom
+
+import (
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/reuse"
+)
+
+// sncaDFS numbers the reachable blocks in DFS preorder (sncaVertex,
+// sncaDfn, sncaParent) and fills RPO/RPONum from the same traversal.
+// Visited marks are generation-stamped: bumping sncaGen invalidates every
+// dfn from earlier runs without touching the array.
+//
+// fc:hotpath
+func (t *Tree) sncaDFS() {
+	f := t.f
+	n := len(f.Blocks)
+	t.sncaGen++
+	if t.sncaGen == 0 { // uint32 wraparound: ancient stamps could collide
+		clear(t.sncaSeen[:cap(t.sncaSeen)])
+		t.sncaGen = 1
+	}
+	gen := t.sncaGen
+	seen := reuse.Slice(t.sncaSeen, n)
+	dfn := reuse.Slice(t.sncaDfn, n)
+	vertex := reuse.Slice(t.sncaVertex, n)[:0]
+	parent := reuse.Slice(t.sncaParent, n)[:0]
+	post := reuse.Slice(t.RPO, n)[:0]
+	stack := append(t.frames[:0], dfsFrame{f.Entry, 0})
+	seen[f.Entry] = gen
+	dfn[f.Entry] = 0
+	vertex = append(vertex, f.Entry)
+	parent = append(parent, -1)
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := f.Blocks[fr.b].Succs
+		if fr.i < len(succs) {
+			s := succs[fr.i]
+			fr.i++
+			if seen[s] != gen {
+				seen[s] = gen
+				dfn[s] = int32(len(vertex))
+				parent = append(parent, dfn[fr.b])
+				vertex = append(vertex, s)
+				stack = append(stack, dfsFrame{s, 0})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	t.sncaSeen, t.sncaDfn, t.sncaVertex, t.sncaParent = seen, dfn, vertex, parent
+	t.frames = stack[:0]
+	// Reverse in place: post and t.RPO share backing.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	t.RPO = post
+	for i, b := range t.RPO {
+		t.RPONum[b] = int32(i)
+	}
+}
+
+// computeIdomSNCA fills Idom from the DFS numbering: semidominators by
+// reverse-preorder eval/link, then immediate dominators by the ascending
+// NCA walk. Unreachable blocks and the entry keep Idom == NoBlock.
+//
+// fc:hotpath
+func (t *Tree) computeIdomSNCA() {
+	f := t.f
+	for i := range t.Idom {
+		t.Idom[i] = ir.NoBlock
+	}
+	nr := len(t.sncaVertex)
+	semi := reuse.Slice(t.sncaSemi, nr)
+	idom := reuse.Slice(t.sncaIdom, nr)
+	anc := reuse.Slice(t.sncaAnc, nr)
+	label := reuse.Slice(t.sncaLabel, nr)
+	t.sncaSemi, t.sncaIdom, t.sncaAnc, t.sncaLabel = semi, idom, anc, label
+	for i := 0; i < nr; i++ {
+		semi[i] = int32(i)
+		label[i] = int32(i)
+		anc[i] = -1
+	}
+	parent := t.sncaParent
+	gen := t.sncaGen
+
+	// Pass 2: semidominators, reverse preorder. For each predecessor v of
+	// w: if v was visited before w it is itself a candidate; otherwise the
+	// minimum semi on v's path through already-linked vertices is (that is
+	// what eval returns). Linking w to its DFS parent afterwards keeps the
+	// forest exactly "the processed part of the DFS tree".
+	for w := int32(nr - 1); w >= 1; w-- {
+		wb := t.sncaVertex[w]
+		for _, pb := range f.Blocks[wb].Preds {
+			if t.sncaSeen[pb] != gen {
+				continue // unreachable predecessor
+			}
+			v := t.sncaDfn[pb]
+			cand := v
+			if v > w {
+				cand = semi[t.sncaEval(v)]
+			}
+			if cand < semi[w] {
+				semi[w] = cand
+			}
+		}
+		anc[w] = parent[w]
+	}
+
+	// Pass 3: SEMI-NCA. idom(w) = NCA(parent(w), sdom(w)); since every
+	// vertex on the walk has a smaller preorder number than w, its idom
+	// link is already final.
+	if nr > 0 {
+		idom[0] = 0
+	}
+	for w := int32(1); w < int32(nr); w++ {
+		x := parent[w]
+		for x > semi[w] {
+			x = idom[x]
+		}
+		idom[w] = x
+	}
+	for w := int32(1); w < int32(nr); w++ {
+		t.Idom[t.sncaVertex[w]] = t.sncaVertex[idom[w]]
+	}
+}
+
+// sncaEval returns the vertex with minimum semi on the path from v up to
+// (but excluding) the root of v's tree in the ancestor forest, compressing
+// the path as it goes — the unionfind find-with-compression idiom, with
+// the label update folded into the same walk.
+//
+// fc:hotpath
+func (t *Tree) sncaEval(v int32) int32 {
+	anc, label, semi := t.sncaAnc, t.sncaLabel, t.sncaSemi
+	if anc[v] < 0 {
+		return v
+	}
+	if anc[anc[v]] < 0 {
+		return label[v]
+	}
+	// Collect the path from v up to the root's direct child, then sweep
+	// back down propagating the best label and pointing everything at the
+	// root (full compression, same shape as unionfind's two-pass find).
+	path := t.sncaPath[:0]
+	x := v
+	for anc[x] >= 0 {
+		path = append(path, x)
+		x = anc[x]
+	}
+	root := x
+	best := label[path[len(path)-1]]
+	for i := len(path) - 2; i >= 0; i-- {
+		y := path[i]
+		if semi[best] < semi[label[y]] {
+			label[y] = best
+		} else {
+			best = label[y]
+		}
+		anc[y] = root
+	}
+	t.sncaPath = path[:0]
+	return label[v]
+}

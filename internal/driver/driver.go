@@ -37,9 +37,11 @@ import (
 	"fastcoalesce/internal/analysis"
 	"fastcoalesce/internal/cache"
 	"fastcoalesce/internal/core"
+	"fastcoalesce/internal/dom"
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/lang"
+	"fastcoalesce/internal/liveness"
 	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/ssa"
 )
@@ -148,6 +150,14 @@ type Config struct {
 	Algo    Algo
 	Flavor  ssa.Flavor // SSA flavor; the zero value is Pruned
 	Workers int        // worker-pool size; <= 0 means runtime.GOMAXPROCS(0)
+
+	// DomSolver and LiveSolver select the substrate algorithms (dominators
+	// and liveness) for every pipeline stage that runs them. Both choices
+	// are output-invariant — the analyses have unique answers, pinned by
+	// the differential tests — so they are deliberately absent from the
+	// cache fingerprint, like Check/Obs/Workers.
+	DomSolver  dom.Solver
+	LiveSolver liveness.Solver
 
 	// NoScratch disables per-worker Scratch reuse, making every function
 	// allocate cold — the baseline for the allocation experiments.
@@ -387,12 +397,17 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 		f.SplitCriticalEdges()
 		st = &ssa.Stats{}
 	} else {
-		st = ssa.Build(f, ssa.Options{Flavor: cfg.Flavor, FoldCopies: fold, Scratch: sc.ssaScratch(), Obs: tr})
+		st = ssa.Build(f, ssa.Options{
+			Flavor: cfg.Flavor, FoldCopies: fold,
+			DomSolver: cfg.DomSolver, LiveSolver: cfg.LiveSolver,
+			Scratch: sc.ssaScratch(), Obs: tr,
+		})
 	}
 	m.Build = time.Since(t1)
 	m.PhisInserted = st.PhisInserted
 	m.CopiesFolded = st.CopiesFolded
 	m.LivenessVisits = st.LivenessVisits
+	m.DomRecomputes = st.DomRecomputes
 
 	// The audit needs the SSA form as destruction saw it, and the name
 	// map the pipeline applied. Snapshotting is deliberately outside the
@@ -412,7 +427,10 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 		m.CopiesInserted = ds.CopiesInserted
 		// Standard never renames: the identity map (nil) is correct.
 	case New:
-		opt := core.Options{Dom: st.Dom, RecordNameMap: cfg.Check != analysis.None, Obs: tr}
+		opt := core.Options{
+			Dom: st.Dom, RecordNameMap: cfg.Check != analysis.None, Obs: tr,
+			DomSolver: cfg.DomSolver, LiveSolver: cfg.LiveSolver,
+		}
 		var cs *core.Stats
 		if csc := sc.coreScratch(); csc != nil {
 			cs = core.CoalesceScratch(f, opt, csc)
@@ -422,6 +440,7 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 		m.CopiesInserted = cs.CopiesInserted
 		m.CopiesCoalesced = cs.InitialUnions
 		m.LivenessVisits += cs.LivenessVisits
+		m.DomRecomputes += cs.DomRecomputes
 		nameMap = cs.NameMap
 	case Briggs, BriggsStar:
 		joinMap := ifgraph.JoinPhiWebs(f)

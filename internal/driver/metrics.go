@@ -19,7 +19,8 @@ type FuncMetrics struct {
 	CopiesCoalesced int // copies eliminated (unions / graph coalesces)
 	StaticCopies    int // copy instructions in the final code
 	CheckFindings   int // diagnostics reported by the audit
-	LivenessVisits  int // block evaluations by the worklist liveness solver
+	LivenessVisits  int // liveness solver work (liveness.Stats.Visits)
+	DomRecomputes   int // dominator computations across the pipeline
 }
 
 // Snapshot aggregates one batch run. Phase times are per-function spans
@@ -56,6 +57,7 @@ type Snapshot struct {
 	CopiesCoalesced int64
 	StaticCopies    int64
 	LivenessVisits  int64
+	DomRecomputes   int64
 }
 
 // summarize folds per-job results into a Snapshot.
@@ -96,6 +98,7 @@ func summarize(results []Result, algo Algo, workers int, wall time.Duration, all
 		s.CopiesCoalesced += int64(m.CopiesCoalesced)
 		s.StaticCopies += int64(m.StaticCopies)
 		s.LivenessVisits += int64(m.LivenessVisits)
+		s.DomRecomputes += int64(m.DomRecomputes)
 	}
 	if wall > 0 {
 		s.FuncsPerSec = float64(s.Functions) / wall.Seconds()

@@ -15,6 +15,7 @@ type batchMetrics struct {
 	inserted  *obs.Counter
 	coalesced *obs.Counter
 	visits    *obs.Counter
+	domruns   *obs.Counter
 	static    *obs.Histogram
 	revals    *obs.Counter
 }
@@ -39,6 +40,9 @@ func newBatchMetrics(cfg Config) batchMetrics {
 			"Copies eliminated (unions / graph coalesces).", algo),
 		visits: reg.Counter("fastcoalesce_liveness_visits_total",
 			"Block evaluations by the worklist liveness solver.", algo),
+		domruns: reg.Counter("fastcoalesce_dom_recomputes_total",
+			"Dominator-tree computations, labeled by the selected solver.",
+			algo, obs.L("solver", cfg.DomSolver.String())),
 		static: reg.Histogram("fastcoalesce_static_copies",
 			"Copy instructions left per compiled function.",
 			obs.Pow2Buckets(0, 12), algo),
@@ -65,5 +69,6 @@ func (m *batchMetrics) observe(r *Result) {
 	m.inserted.Add(int64(r.Metrics.CopiesInserted))
 	m.coalesced.Add(int64(r.Metrics.CopiesCoalesced))
 	m.visits.Add(int64(r.Metrics.LivenessVisits))
+	m.domruns.Add(int64(r.Metrics.DomRecomputes))
 	m.static.Observe(int64(r.Metrics.StaticCopies))
 }

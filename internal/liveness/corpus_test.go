@@ -76,3 +76,16 @@ func TestWorklistVsRoundRobinCorpus(t *testing.T) {
 		}
 	}
 }
+
+func TestSparseVsWorklistCorpus(t *testing.T) {
+	var ssc, wsc liveness.Scratch
+	for label, f := range corpusFuncs(t) {
+		sp := liveness.ComputeSparseScratch(f, &ssc)
+		wl := liveness.ComputeScratch(f, &wsc)
+		for b := range f.Blocks {
+			if !sp.In[b].Equal(wl.In[b]) || !sp.Out[b].Equal(wl.Out[b]) {
+				t.Fatalf("%s: sparse and worklist disagree at b%d\n%s", label, b, f)
+			}
+		}
+	}
+}

@@ -11,7 +11,7 @@
 //
 // The same code handles non-SSA programs (no φ-nodes present).
 //
-// Two solvers compute the same (unique) least fixpoint:
+// Three solvers compute the same (unique) least fixpoint:
 //
 //   - the default predecessor-driven worklist solver (ComputeScratch):
 //     blocks are seeded once in postorder and thereafter a block is
@@ -20,8 +20,12 @@
 //     blocks are processed once or twice;
 //   - the round-robin solver (ComputeRoundRobinScratch): full postorder
 //     sweeps until a sweep changes nothing. It is retained as the
-//     differential oracle for the worklist solver and as the simplest
-//     possible reference implementation.
+//     differential oracle for the other solvers and as the simplest
+//     possible reference implementation;
+//   - the sparse per-variable solver (ComputeSparseScratch, see
+//     sparse.go): walks each live (variable, block) pair upward from its
+//     uses, doing work proportional to the answer instead of to whole-CFG
+//     bitset sweeps — the winner on large CFGs with many short ranges.
 //
 // Blocks unreachable from the entry keep empty sets under both solvers.
 //
@@ -33,10 +37,64 @@
 package liveness
 
 import (
+	"fmt"
+
 	"fastcoalesce/internal/bitset"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/reuse"
 )
+
+// Solver selects the liveness algorithm run by ComputeWith. All solvers
+// compute the identical least fixpoint; only the cost model differs.
+type Solver uint8
+
+const (
+	// Worklist is the default predecessor-driven worklist solver.
+	Worklist Solver = iota
+	// RoundRobin is the full-sweep reference solver (the differential
+	// oracle).
+	RoundRobin
+	// Sparse is the per-variable upward-walk solver from sparse.go.
+	Sparse
+)
+
+// String returns the flag spelling of the solver.
+func (s Solver) String() string {
+	switch s {
+	case Worklist:
+		return "worklist"
+	case RoundRobin:
+		return "round-robin"
+	case Sparse:
+		return "sparse"
+	}
+	return "unknown"
+}
+
+// ParseSolver parses a -livesolver flag value.
+func ParseSolver(s string) (Solver, error) {
+	switch s {
+	case "worklist":
+		return Worklist, nil
+	case "round-robin", "roundrobin":
+		return RoundRobin, nil
+	case "sparse":
+		return Sparse, nil
+	}
+	return Worklist, fmt.Errorf("unknown liveness solver %q (want worklist, round-robin, or sparse)", s)
+}
+
+// ComputeWith runs the selected solver on sc. See the Compute*Scratch
+// functions for the aliasing rules; they apply unchanged.
+func ComputeWith(f *ir.Func, sc *Scratch, solver Solver) *Info {
+	switch solver {
+	case RoundRobin:
+		return ComputeRoundRobinScratch(f, sc)
+	case Sparse:
+		return ComputeSparseScratch(f, sc)
+	}
+	return ComputeScratch(f, sc)
+}
 
 // Info holds per-block live sets over VarIDs.
 type Info struct {
@@ -66,13 +124,16 @@ type Scratch struct {
 	queued []uint32 // fc:stamp epoch
 	epoch  uint32   // fc:epoch
 
+	pairs []varBlock // sparse solver's (variable, block) work stack
+
 	stats Stats
 }
 
 // Stats describes the work of the last Compute*Scratch call on this
 // Scratch — the observable behind the worklist solver's efficiency
 // claim. Visits/Blocks near 1.0 means most blocks reached their fixpoint
-// in one evaluation; the round-robin oracle reports sweeps × blocks. The
+// in one evaluation; the round-robin oracle reports sweeps × blocks, and
+// the sparse solver reports (variable, block) pair propagations. The
 // batch driver surfaces the totals as the
 // fastcoalesce_liveness_visits_total metric.
 type Stats struct {

@@ -57,8 +57,10 @@ type Phase uint8
 // The phases.
 const (
 	PhaseParse          Phase = iota // source → IR (lang or ir text)
-	PhaseDom                         // dominator tree + frontiers
-	PhaseLiveness                    // live-variable analysis
+	PhaseDom                         // dominator tree + frontiers (CHK solver)
+	PhaseDomSNCA                     // dominator tree + frontiers (SEMI-NCA solver)
+	PhaseLiveness                    // live-variable analysis (worklist/round-robin)
+	PhaseLivenessSparse              // live-variable analysis (sparse per-variable solver)
 	PhaseSSABuild                    // φ insertion + renaming (excl. dom/liveness sub-spans)
 	PhasePhiInstantiate              // standard φ-node instantiation (DestructStandard)
 	PhaseCoalesce1                   // step 1: union φ resources (§3.1)
@@ -73,7 +75,8 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"parse", "dom", "liveness", "ssa-build", "phi-instantiate",
+	"parse", "dom", "dom-snca", "liveness", "liveness-sparse",
+	"ssa-build", "phi-instantiate",
 	"coalesce-union", "coalesce-forest", "coalesce-local",
 	"rewrite", "verify", "check", "cache", "job",
 }

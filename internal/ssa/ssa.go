@@ -53,13 +53,38 @@ type Options struct {
 	// so this is only for tests and measurements of the split itself.
 	KeepCriticalEdges bool
 
+	// DomSolver and LiveSolver select the substrate algorithms. The
+	// resulting SSA form is identical for every choice (both analyses
+	// have unique answers); only the cost model differs. The zero values
+	// are the defaults (dom.CHK, liveness.Worklist).
+	DomSolver  dom.Solver
+	LiveSolver liveness.Solver
+
 	// Scratch, when non-nil, supplies reusable construction memory. The
 	// resulting SSA form is identical; only allocation behavior differs.
 	Scratch *Scratch
 
 	// Obs, when non-nil, receives phase spans (liveness, dom, ssa-build).
-	// A nil tracer costs nothing: every method is a nil-receiver no-op.
+	// The dom/liveness spans carry solver-specific phases (dom-snca,
+	// liveness-sparse) so traces attribute time per solver. A nil tracer
+	// costs nothing: every method is a nil-receiver no-op.
 	Obs *obs.Tracer
+}
+
+// domPhase maps a dominator solver to its span phase.
+func domPhase(s dom.Solver) obs.Phase {
+	if s == dom.SemiNCA {
+		return obs.PhaseDomSNCA
+	}
+	return obs.PhaseDom
+}
+
+// livePhase maps a liveness solver to its span phase.
+func livePhase(s liveness.Solver) obs.Phase {
+	if s == liveness.Sparse {
+		return obs.PhaseLivenessSparse
+	}
+	return obs.PhaseLiveness
 }
 
 // Scratch holds the reusable state of one Build: the liveness and
@@ -97,9 +122,14 @@ type Stats struct {
 	EdgesSplit    int
 	SSAVars       int // total variables after renaming
 
-	// LivenessVisits is the number of block evaluations the worklist
-	// liveness solver performed (liveness.Stats.Visits).
+	// LivenessVisits is the work performed by the liveness solver
+	// (liveness.Stats.Visits): block evaluations for the dense solvers,
+	// pair propagations for the sparse one.
 	LivenessVisits int
+
+	// DomRecomputes is the number of dominator-tree computations Build
+	// performed (always 1; the tree is published via Dom for reuse).
+	DomRecomputes int
 
 	// Dom is the dominator tree computed during construction. The CFG is
 	// not changed after the up-front critical-edge split, so destruction
@@ -125,19 +155,22 @@ func Build(f *ir.Func, opt Options) *Stats {
 	// One liveness computation serves both strictness enforcement and
 	// pruned φ placement: the entry initializations only add definitions
 	// at the entry, which cannot extend any block's live-in set.
-	opt.Obs.Begin(obs.PhaseLiveness)
-	live := liveness.ComputeScratch(f, &sc.live)
-	opt.Obs.End(obs.PhaseLiveness)
+	lp := livePhase(opt.LiveSolver)
+	opt.Obs.Begin(lp)
+	live := liveness.ComputeWith(f, &sc.live, opt.LiveSolver)
+	opt.Obs.End(lp)
 	st.LivenessVisits = sc.live.LastStats().Visits
 	st.InitsInserted = enforceStrict(f, live)
 
-	opt.Obs.Begin(obs.PhaseDom)
-	sc.dom.Recompute(f)
+	dp := domPhase(opt.DomSolver)
+	opt.Obs.Begin(dp)
+	sc.dom.RecomputeWith(f, opt.DomSolver)
+	st.DomRecomputes = 1
 	dt := &sc.dom
 	st.Dom = dt
 	sc.df, sc.inDF = dt.FrontiersInto(sc.df, sc.inDF)
 	df := sc.df
-	opt.Obs.End(obs.PhaseDom)
+	opt.Obs.End(dp)
 	opt.Obs.Begin(obs.PhaseSSABuild)
 
 	nv := f.NumVars()
