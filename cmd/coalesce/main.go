@@ -22,6 +22,10 @@
 //	-stats    print conversion statistics
 //	-run      comma-separated scalar args: execute before/after and compare
 //	-check    none | fast | full: audit the conversion with internal/analysis
+//	-regalloc allocate registers after destruction (Chaitin/Briggs, spill
+//	          code into a dedicated array; see REGALLOC.md); applies to
+//	          single-file, -batch, and -serve modes
+//	-k        register count for -regalloc (default 8)
 //	-batch    compile every .kl/.ir file under a directory concurrently
 //	-jobs     worker count for -batch (default: one per CPU)
 //	-trace    write a JSONL phase trace of the batch to this file
@@ -64,6 +68,7 @@ import (
 	"fastcoalesce/internal/obs"
 	"fastcoalesce/internal/obs/obshttp"
 	"fastcoalesce/internal/opt"
+	"fastcoalesce/internal/regalloc"
 	"fastcoalesce/internal/ssa"
 )
 
@@ -87,6 +92,8 @@ func realMain() error {
 	optimize := flag.Bool("opt", false, "run value numbering + DCE on the SSA form (new/standard only)")
 	runArgs := flag.String("run", "", "comma-separated scalar args to execute with")
 	checkName := flag.String("check", "none", "audit level: none | fast | full")
+	doRegalloc := flag.Bool("regalloc", false, "allocate registers after destruction (see REGALLOC.md)")
+	k := flag.Int("k", 8, "register count for -regalloc")
 	batch := flag.String("batch", "", "compile every .kl/.ir file under this directory through the batch driver")
 	jobs := flag.Int("jobs", 0, "worker count for -batch (0 = one per CPU)")
 	trace := flag.String("trace", "", "write a JSONL phase trace of the batch to this file")
@@ -109,15 +116,19 @@ func realMain() error {
 		return err
 	}
 	solvers := solverChoice{dom: domSolver, live: liveSolver}
+	regallocK := 0
+	if *doRegalloc {
+		regallocK = *k
+	}
 
 	if *serve != "" {
 		if *batch == "" {
 			return fmt.Errorf("-serve needs -batch <dir> to know what to compile")
 		}
-		return runServe(*batch, *algo, *jobs, check, *cachemb, *serve, *interval, *rounds, *trace, solvers)
+		return runServe(*batch, *algo, *jobs, check, *cachemb, *serve, *interval, *rounds, *trace, solvers, regallocK)
 	}
 	if *batch != "" {
-		return runBatch(*batch, *algo, *jobs, *stats, check, *cachemb, *trace, solvers)
+		return runBatch(*batch, *algo, *jobs, *stats, check, *cachemb, *trace, solvers, regallocK)
 	}
 	if *cachemb != 0 {
 		return fmt.Errorf("-cachemb applies to -batch and -serve modes")
@@ -162,7 +173,7 @@ func realMain() error {
 	}
 
 	for _, f := range funcs {
-		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs, check, solvers); err != nil {
+		if err := process(f, *algo, fl, *dumpIn, *dumpSSA, *stats, *optimize, *runArgs, check, solvers, regallocK); err != nil {
 			return err
 		}
 	}
@@ -175,7 +186,7 @@ type solverChoice struct {
 	live liveness.Solver
 }
 
-func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string, check analysis.Level, solvers solverChoice) error {
+func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, optimize bool, runArgs string, check analysis.Level, solvers solverChoice, regallocK int) error {
 	if dumpIn {
 		fmt.Printf("=== input %s ===\n%s\n", orig.Name, orig)
 	}
@@ -287,6 +298,29 @@ func process(orig *ir.Func, algo string, fl ssa.Flavor, dumpIn, dumpSSA, stats, 
 		}
 		if rep.Failed() {
 			return fmt.Errorf("%s: audit reported %d findings", f.Name, len(rep.Diags))
+		}
+	}
+
+	// Allocation runs after the audit: the name map covers the coalesced
+	// names, not the spill temps the rewrite mints.
+	if regallocK > 0 {
+		ra, err := regalloc.Allocate(f, regalloc.Options{
+			K: regallocK, DomSolver: solvers.dom, LiveSolver: solvers.live,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: regalloc: %w", f.Name, err)
+		}
+		if err := regalloc.VerifyAllocation(f, ra.Colors, regallocK); err != nil {
+			return fmt.Errorf("%s: regalloc verify: %w", f.Name, err)
+		}
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("%s: spilled code invalid: %w", f.Name, err)
+		}
+		fmt.Printf("=== regalloc %s: k=%d spills=%d reloads=%d stores=%d rounds=%d colors=%d pressure=%d ===\n",
+			f.Name, regallocK, ra.SpilledVars, ra.Reloads, ra.Stores, ra.Rounds,
+			ra.ColorsUsed, ra.MaxPressure)
+		if ra.SpilledVars > 0 {
+			fmt.Printf("%s\n", f)
 		}
 	}
 
@@ -432,7 +466,7 @@ func buildCache(cachemb int, rec *obs.Recorder) *cache.Cache {
 // runBatch compiles every .kl/.ir file under dir through the concurrent
 // batch driver, prints one summary line per function in deterministic
 // (path) order, and finishes with the batch metrics table.
-func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level, cachemb int, tracePath string, solvers solverChoice) error {
+func runBatch(dir, algoName string, workers int, stats bool, check analysis.Level, cachemb int, tracePath string, solvers solverChoice, regallocK int) error {
 	algo, err := driver.ParseAlgo(algoName)
 	if err != nil {
 		return err
@@ -451,7 +485,7 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 
 	results, snap := driver.Run(batchJobs, driver.Config{
 		Algo: algo, Workers: workers, Check: check, Obs: rec,
-		DomSolver: solvers.dom, LiveSolver: solvers.live,
+		DomSolver: solvers.dom, LiveSolver: solvers.live, RegallocK: regallocK,
 		Cache: buildCache(cachemb, rec), Revalidate: check != analysis.None,
 	})
 	bad, findings := 0, 0
@@ -495,7 +529,7 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 // recompiles from scratch. SIGINT/SIGTERM cancels the context;
 // in-flight jobs drain, the exporter shuts down gracefully, and the
 // session report prints.
-func runServe(dir, algoName string, workers int, check analysis.Level, cachemb int, addr string, interval time.Duration, rounds int, tracePath string, solvers solverChoice) error {
+func runServe(dir, algoName string, workers int, check analysis.Level, cachemb int, addr string, interval time.Duration, rounds int, tracePath string, solvers solverChoice, regallocK int) error {
 	algo, err := driver.ParseAlgo(algoName)
 	if err != nil {
 		return err
@@ -525,7 +559,7 @@ func runServe(dir, algoName string, workers int, check analysis.Level, cachemb i
 
 	cfg := driver.Config{
 		Algo: algo, Workers: workers, Check: check, Obs: rec,
-		DomSolver: solvers.dom, LiveSolver: solvers.live,
+		DomSolver: solvers.dom, LiveSolver: solvers.live, RegallocK: regallocK,
 		Cache: buildCache(cachemb, rec), Revalidate: check != analysis.None,
 	}
 	rep := driver.Serve(ctx, batchJobs, cfg, driver.ServeOptions{

@@ -10,6 +10,7 @@
 //	experiments -repeat 9       # more timing repetitions
 //	experiments -scaling        # complexity scaling study only
 //	experiments -solvers        # substrate-solver crossover sweep (CHK vs SEMI-NCA, dense vs sparse)
+//	experiments -pressure       # register-pressure sweep: all pipelines allocated at k=4/8/16/32
 //	experiments -throughput     # batch-compilation throughput study
 //	experiments -audit          # checker-overhead study (internal/analysis)
 //	experiments -traceoverhead  # observability-overhead study (internal/obs)
@@ -48,6 +49,7 @@ func realMain() (err error) {
 	repeat := flag.Int("repeat", 5, "timing repetitions (best-of)")
 	scaling := flag.Bool("scaling", false, "run the O(n α(n)) scaling study instead")
 	solvers := flag.Bool("solvers", false, "run the substrate-solver crossover sweep instead (also a differential gate)")
+	pressure := flag.Bool("pressure", false, "run the register-pressure sweep instead (also a differential gate)")
 	ext := flag.Bool("ext", false, "run the optimizer-pipeline extension experiment instead")
 	alloc := flag.Int("alloc", 0, "run the register-allocation experiment with this many registers")
 	throughput := flag.Bool("throughput", false, "run the batch-compilation throughput study instead")
@@ -98,6 +100,8 @@ func realMain() (err error) {
 		return runScaling()
 	case *solvers:
 		return runSolvers()
+	case *pressure:
+		return runPressure()
 	case *throughput:
 		return runThroughput(*repeat, level)
 	case *audit:
@@ -267,6 +271,25 @@ func runSolvers() error {
 		return err
 	}
 	fmt.Print(bench.FormatSolverSweep(entries))
+	return nil
+}
+
+// runPressure runs the register-pressure sweep: every pipeline's
+// coalesced output allocated at k = 4/8/16/32 over the workload suite
+// and the famgen CFG families, with every allocation verified against an
+// independently built interference graph and interpreter-compared to the
+// original program — any divergence is returned as an error, so CI can
+// use this mode as a correctness gate.
+func runPressure() error {
+	fmt.Println("Register-pressure sweep (Chaitin/Briggs allocation of each pipeline's output)")
+	fmt.Println("(every cell is interpreter-verified: original vs allocated+spilled code;")
+	fmt.Println(" spill_ops = dynamic non-copy instructions added by spill stores/reloads)")
+	fmt.Println()
+	entries, err := bench.RunPressureSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatPressureSweep(entries))
 	return nil
 }
 

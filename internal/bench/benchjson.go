@@ -50,18 +50,19 @@ type ScalingEntry struct {
 
 // BenchReport is the full baseline document.
 type BenchReport struct {
-	Schema    string         `json:"schema"`
-	Label     string         `json:"label"`
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"num_cpu"`
-	Workloads []BenchEntry   `json:"workloads"`
-	Micro     []BenchEntry   `json:"micro"`
-	Scaling   []ScalingEntry `json:"scaling"`
-	Solvers   []SolverEntry  `json:"solvers,omitempty"` // substrate-solver crossover sweep
-	Cache     []BenchEntry   `json:"cache,omitempty"`   // result-cache off/fill/hit batch costs
-	Serve     []BenchEntry   `json:"serve,omitempty"`   // warm shard-pool submit floor per shard count
+	Schema    string          `json:"schema"`
+	Label     string          `json:"label"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Workloads []BenchEntry    `json:"workloads"`
+	Micro     []BenchEntry    `json:"micro"`
+	Scaling   []ScalingEntry  `json:"scaling"`
+	Solvers   []SolverEntry   `json:"solvers,omitempty"`  // substrate-solver crossover sweep
+	Cache     []BenchEntry    `json:"cache,omitempty"`    // result-cache off/fill/hit batch costs
+	Serve     []BenchEntry    `json:"serve,omitempty"`    // warm shard-pool submit floor per shard count
+	Pressure  []PressureEntry `json:"pressure,omitempty"` // register-pressure sweep at k=4/8/16/32
 }
 
 // measureSpan runs body n times and returns per-op time, allocation
@@ -341,6 +342,11 @@ func RunBenchJSON(label string, repeat int) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Serve = serveB
+	pressure, err := RunPressureSweep()
+	if err != nil {
+		return nil, err
+	}
+	rep.Pressure = pressure
 	return rep, nil
 }
 

@@ -43,6 +43,7 @@ import (
 	"fastcoalesce/internal/lang"
 	"fastcoalesce/internal/liveness"
 	"fastcoalesce/internal/obs"
+	"fastcoalesce/internal/regalloc"
 	"fastcoalesce/internal/ssa"
 )
 
@@ -193,6 +194,14 @@ type Config struct {
 	// never trust a stored result.
 	Revalidate bool
 
+	// RegallocK, when positive, runs the register allocator over every
+	// pipeline's coalesced output with K registers: the function is
+	// rewritten with spill code, the coloring is verified against an
+	// independently built interference graph, and the spill statistics
+	// land in FuncMetrics/Snapshot. Because allocation changes the
+	// output, K joins the cache fingerprint.
+	RegallocK int
+
 	// fp is the cache fingerprint, resolved once per run (runScratches,
 	// ShardPool) so the hot path never rebuilds the string.
 	fp string
@@ -203,7 +212,11 @@ type Config struct {
 // Check/Obs/Workers are deliberately absent — they never change a bit
 // of output (the differential tests pin this).
 func (cfg *Config) fingerprint() string {
-	return cfg.Algo.String() + "/" + cfg.Flavor.String() + "\x00"
+	fp := cfg.Algo.String() + "/" + cfg.Flavor.String()
+	if cfg.RegallocK > 0 {
+		fp += "/k" + strconv.Itoa(cfg.RegallocK)
+	}
+	return fp + "\x00"
 }
 
 // Run compiles every job with cfg's pipeline across a worker pool and
@@ -299,7 +312,7 @@ func runScratches(ctx context.Context, jobs []Job, cfg Config, scs []*Scratch) (
 	wg.Wait()
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
-	snap := summarize(results, cfg.Algo, workers, wall, int64(ms1.TotalAlloc-ms0.TotalAlloc))
+	snap := summarize(results, cfg.Algo, workers, wall, int64(ms1.TotalAlloc-ms0.TotalAlloc), cfg.RegallocK)
 	return results, snap
 }
 
@@ -474,6 +487,44 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 		res.Err = fmt.Errorf("%s: verify after %v: %w", res.Name, cfg.Algo, err)
 		return res
 	}
+
+	// The backend: color the coalesced output with K registers. The
+	// audit below still wants the pure destruction output (its name map
+	// does not extend over spill temporaries), so it is snapshotted
+	// first; the cache stores the allocated function — K is part of the
+	// fingerprint.
+	var preAlloc *ir.Func
+	if cfg.RegallocK > 0 {
+		if cfg.Check != analysis.None {
+			preAlloc = f.Clone()
+		}
+		t := time.Now()
+		ra, raErr := regalloc.AllocateScratch(f, regalloc.Options{
+			K: cfg.RegallocK, DomSolver: cfg.DomSolver, LiveSolver: cfg.LiveSolver, Obs: tr,
+		}, sc.regallocScratch())
+		if raErr != nil {
+			if ra != nil {
+				m.Spills, m.Reloads = ra.SpilledVars, ra.Reloads
+				m.RegallocRounds, m.ColorsUsed = ra.Rounds, ra.ColorsUsed
+			}
+			res.Err = fmt.Errorf("%s: regalloc k=%d: %w", res.Name, cfg.RegallocK, raErr)
+			return res
+		}
+		tr.Begin(obs.PhaseRegallocVerify)
+		err = regalloc.VerifyAllocation(f, ra.Colors, cfg.RegallocK)
+		if err == nil {
+			err = f.Verify()
+		}
+		tr.End(obs.PhaseRegallocVerify)
+		if err != nil {
+			res.Err = fmt.Errorf("%s: regalloc k=%d verify: %w", res.Name, cfg.RegallocK, err)
+			return res
+		}
+		m.Regalloc = time.Since(t)
+		m.Spills, m.Reloads = ra.SpilledVars, ra.Reloads
+		m.RegallocRounds, m.ColorsUsed = ra.Rounds, ra.ColorsUsed
+		m.MaxPressure = ra.MaxPressure
+	}
 	res.Func = f
 
 	if cfg.Cache != nil {
@@ -494,7 +545,7 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 			// with the output text as the byte-identity witness and the
 			// shape counts as metadata, durations zeroed.
 			meta := res.Metrics
-			meta.Parse, meta.Build, meta.Destruct, meta.Check = 0, 0, 0, 0
+			meta.Parse, meta.Build, meta.Destruct, meta.Check, meta.Regalloc = 0, 0, 0, 0, 0
 			cfg.Cache.Put(key, &cache.Entry{
 				Func: f.Clone(),
 				Text: f.AppendText(nil),
@@ -506,10 +557,14 @@ func compileOne(idx int, j Job, cfg Config, sc *Scratch) Result {
 	if cfg.Check != analysis.None {
 		t3 := time.Now()
 		tr.Begin(obs.PhaseCheck)
+		out := f
+		if preAlloc != nil {
+			out = preAlloc // audit the destruction, not the spill rewriting
+		}
 		unit := &analysis.Unit{
 			Algo:    cfg.Algo.String(),
 			SSA:     ssaSnap,
-			Out:     f,
+			Out:     out,
 			NameMap: nameMap,
 		}
 		res.Report = analysis.RunAll(unit, cfg.Check)

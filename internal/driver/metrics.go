@@ -11,6 +11,7 @@ type FuncMetrics struct {
 	Parse    time.Duration // source → IR
 	Build    time.Duration // SSA construction (incl. liveness, dominators)
 	Destruct time.Duration // SSA destruction (the paper's measured span)
+	Regalloc time.Duration // register allocation (zero when Config.RegallocK is 0)
 	Check    time.Duration // analysis audit (zero when Config.Check is None)
 
 	PhisInserted    int
@@ -21,6 +22,12 @@ type FuncMetrics struct {
 	CheckFindings   int // diagnostics reported by the audit
 	LivenessVisits  int // liveness solver work (liveness.Stats.Visits)
 	DomRecomputes   int // dominator computations across the pipeline
+
+	Spills         int // live ranges sent to the spill array
+	Reloads        int // reload instructions inserted
+	RegallocRounds int // build/color attempts until the graph colored
+	ColorsUsed     int // distinct registers the final coloring uses
+	MaxPressure    int // max simultaneously-live variables before spilling
 }
 
 // Snapshot aggregates one batch run. Phase times are per-function spans
@@ -41,7 +48,15 @@ type Snapshot struct {
 	Parse    time.Duration
 	Build    time.Duration
 	Destruct time.Duration
+	Regalloc time.Duration
 	Check    time.Duration
+
+	RegallocK      int   // Config.RegallocK (0 = allocator off)
+	Spills         int64 // spilled live ranges across the batch
+	Reloads        int64
+	RegallocRounds int64
+	ColorsUsed     int64 // max distinct registers used by any function
+	MaxPressure    int64 // max register pressure seen by any function
 
 	Checked       int64 // jobs that ran the audit
 	CheckFindings int64 // diagnostics across those jobs
@@ -61,8 +76,8 @@ type Snapshot struct {
 }
 
 // summarize folds per-job results into a Snapshot.
-func summarize(results []Result, algo Algo, workers int, wall time.Duration, alloc int64) *Snapshot {
-	s := &Snapshot{Algo: algo, Workers: workers, Wall: wall, AllocBytes: alloc}
+func summarize(results []Result, algo Algo, workers int, wall time.Duration, alloc int64, regallocK int) *Snapshot {
+	s := &Snapshot{Algo: algo, Workers: workers, Wall: wall, AllocBytes: alloc, RegallocK: regallocK}
 	for i := range results {
 		r := &results[i]
 		// Audit accounting happens before the error skip: a job whose
@@ -99,6 +114,16 @@ func summarize(results []Result, algo Algo, workers int, wall time.Duration, all
 		s.StaticCopies += int64(m.StaticCopies)
 		s.LivenessVisits += int64(m.LivenessVisits)
 		s.DomRecomputes += int64(m.DomRecomputes)
+		s.Regalloc += m.Regalloc
+		s.Spills += int64(m.Spills)
+		s.Reloads += int64(m.Reloads)
+		s.RegallocRounds += int64(m.RegallocRounds)
+		if int64(m.ColorsUsed) > s.ColorsUsed {
+			s.ColorsUsed = int64(m.ColorsUsed)
+		}
+		if int64(m.MaxPressure) > s.MaxPressure {
+			s.MaxPressure = int64(m.MaxPressure)
+		}
 	}
 	if wall > 0 {
 		s.FuncsPerSec = float64(s.Functions) / wall.Seconds()
@@ -130,6 +155,11 @@ func (s *Snapshot) Table() string {
 		s.Destruct.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  copies:        phis %-6d folded %-6d coalesced %-6d inserted %-6d static %d\n",
 		s.PhisInserted, s.CopiesFolded, s.CopiesCoalesced, s.CopiesInserted, s.StaticCopies)
+	if s.RegallocK > 0 {
+		fmt.Fprintf(&b, "  regalloc:      k %-4d spills %-6d reloads %-6d rounds %-5d colors<=%-3d pressure %-4d time %v\n",
+			s.RegallocK, s.Spills, s.Reloads, s.RegallocRounds, s.ColorsUsed, s.MaxPressure,
+			s.Regalloc.Round(time.Microsecond))
+	}
 	if s.Checked > 0 {
 		fmt.Fprintf(&b, "  checks:        audited %-6d findings %-6d time %v\n",
 			s.Checked, s.CheckFindings, s.Check.Round(time.Microsecond))

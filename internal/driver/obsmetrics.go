@@ -1,6 +1,10 @@
 package driver
 
-import "fastcoalesce/internal/obs"
+import (
+	"strconv"
+
+	"fastcoalesce/internal/obs"
+)
 
 // batchMetrics are the registry instruments a batch bumps as jobs
 // finish, resolved once per run from Config.Obs. With observability off
@@ -18,12 +22,19 @@ type batchMetrics struct {
 	domruns   *obs.Counter
 	static    *obs.Histogram
 	revals    *obs.Counter
+
+	// Allocator instruments, registered only when Config.RegallocK is
+	// positive (nil — free no-ops — otherwise).
+	spills   *obs.Counter
+	reloads  *obs.Counter
+	rarounds *obs.Counter
+	colors   *obs.Histogram
 }
 
 func newBatchMetrics(cfg Config) batchMetrics {
 	reg := cfg.Obs.Registry()
 	algo := obs.L("algo", cfg.Algo.String())
-	return batchMetrics{
+	bm := batchMetrics{
 		batches: reg.Counter("fastcoalesce_batches_total",
 			"Batch runs started.", algo),
 		jobs: reg.Counter("fastcoalesce_jobs_total",
@@ -49,6 +60,19 @@ func newBatchMetrics(cfg Config) batchMetrics {
 		revals: reg.Counter("fastcoalesce_cache_revalidations_total",
 			"Cache hits recompiled and byte-compared against the entry.", algo),
 	}
+	if cfg.RegallocK > 0 {
+		k := obs.L("k", strconv.Itoa(cfg.RegallocK))
+		bm.spills = reg.Counter("fastcoalesce_regalloc_spills_total",
+			"Live ranges sent to the spill array.", algo, k)
+		bm.reloads = reg.Counter("fastcoalesce_regalloc_reloads_total",
+			"Reload instructions inserted by spilling.", algo, k)
+		bm.rarounds = reg.Counter("fastcoalesce_regalloc_rounds_total",
+			"Build/color attempts until the interference graph colored.", algo, k)
+		bm.colors = reg.Histogram("fastcoalesce_regalloc_colors_used",
+			"Distinct registers used per allocated function.",
+			obs.Pow2Buckets(0, 8), algo, k)
+	}
+	return bm
 }
 
 // observe folds one finished (non-skipped) job into the instruments.
@@ -71,4 +95,10 @@ func (m *batchMetrics) observe(r *Result) {
 	m.visits.Add(int64(r.Metrics.LivenessVisits))
 	m.domruns.Add(int64(r.Metrics.DomRecomputes))
 	m.static.Observe(int64(r.Metrics.StaticCopies))
+	if m.spills != nil {
+		m.spills.Add(int64(r.Metrics.Spills))
+		m.reloads.Add(int64(r.Metrics.Reloads))
+		m.rarounds.Add(int64(r.Metrics.RegallocRounds))
+		m.colors.Observe(int64(r.Metrics.ColorsUsed))
+	}
 }

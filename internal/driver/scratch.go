@@ -3,6 +3,7 @@ package driver
 import (
 	"fastcoalesce/internal/core"
 	"fastcoalesce/internal/obs"
+	"fastcoalesce/internal/regalloc"
 	"fastcoalesce/internal/ssa"
 )
 
@@ -22,8 +23,9 @@ type Scratch struct {
 	cold bool        // Config.NoScratch: hand the passes nil scratches
 	obs  *obs.Tracer // per-worker tracer; nil when observability is off
 
-	ssa  ssa.Scratch
-	core core.Scratch
+	ssa      ssa.Scratch
+	core     core.Scratch
+	regalloc regalloc.Scratch
 
 	// canon is the reused canonicalization buffer for cache keys: the
 	// worker prints fingerprint + IR text into it and hashes the bytes,
@@ -48,6 +50,15 @@ func (s *Scratch) coreScratch() *core.Scratch {
 		return nil
 	}
 	return &s.core
+}
+
+// regallocScratch returns the allocator scratch, or nil for a nil or
+// cold receiver (AllocateScratch treats nil as cold).
+func (s *Scratch) regallocScratch() *regalloc.Scratch {
+	if s == nil || s.cold {
+		return nil
+	}
+	return &s.regalloc
 }
 
 // tracer returns the worker's phase tracer (possibly nil — every tracer

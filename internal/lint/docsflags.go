@@ -57,7 +57,7 @@ func DocFlags(root string) ([]Diagnostic, error) {
 var docCmds = []string{"coalesce", "coalesced", "experiments", "fclint"}
 
 // docFiles are the markdown files whose fenced blocks are checked.
-var docFiles = []string{"README.md", "OBSERVABILITY.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "SERVING.md"}
+var docFiles = []string{"README.md", "OBSERVABILITY.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "SERVING.md", "REGALLOC.md"}
 
 // flagDecl matches flag declarations like flag.String("algo", ...).
 var flagDecl = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([^"]+)"`)

@@ -70,6 +70,10 @@ const (
 	PhaseVerify                      // ir.Verify on the output
 	PhaseCheck                       // internal/analysis audit
 	PhaseCache                       // canonicalize + hash + cache lookup (internal/cache)
+	PhaseRegallocBuild               // interference + fragments + spill costs (internal/regalloc)
+	PhaseRegallocColor               // Briggs simplify/select
+	PhaseRegallocSpill               // spill-code insertion
+	PhaseRegallocVerify              // allocation verification (independent graph rebuild)
 	PhaseJob                         // one whole function, wrapping all of the above
 	NumPhases
 )
@@ -78,7 +82,9 @@ var phaseNames = [NumPhases]string{
 	"parse", "dom", "dom-snca", "liveness", "liveness-sparse",
 	"ssa-build", "phi-instantiate",
 	"coalesce-union", "coalesce-forest", "coalesce-local",
-	"rewrite", "verify", "check", "cache", "job",
+	"rewrite", "verify", "check", "cache",
+	"regalloc-build", "regalloc-color", "regalloc-spill", "regalloc-verify",
+	"job",
 }
 
 // String returns the phase's label as it appears in traces and metrics.

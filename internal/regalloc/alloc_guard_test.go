@@ -1,0 +1,31 @@
+package regalloc_test
+
+import (
+	"testing"
+
+	"fastcoalesce/internal/regalloc"
+)
+
+// TestWarmAllocateAllocations pins the warm no-spill path's allocation
+// count: with a warm Scratch and a function that colors in one round,
+// AllocateScratch may allocate only the Result, its Colors slice, and
+// the obs-free bookkeeping around them. The budget is deliberately a
+// small constant — if this fails, a per-round make() crept back into the
+// allocator (the scratch exists precisely to prevent that).
+func TestWarmAllocateAllocations(t *testing.T) {
+	_, f := prep(t, pressureSrc)
+	var sc regalloc.Scratch
+	opt := regalloc.Options{K: 32}
+	if _, err := regalloc.AllocateScratch(f, opt, &sc); err != nil {
+		t.Fatal(err) // warm-up: grows the scratch to f's high-water mark
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := regalloc.AllocateScratch(f, opt, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 4
+	if avg > budget {
+		t.Errorf("warm no-spill AllocateScratch allocates %.1f objects/run, budget %d", avg, budget)
+	}
+}

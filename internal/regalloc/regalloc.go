@@ -1,12 +1,21 @@
 // Package regalloc implements a Chaitin/Briggs graph-coloring register
 // allocator — the application the paper positions its coalescer inside
-// (§1, §5): live ranges come from SSA destruction (either the paper's fast
-// coalescer or the interference-graph coalescer), then the allocator
-// colors the interference graph with K colors, spilling optimistically
-// à la Briggs until the graph colors.
+// (§1, §5): live ranges come from SSA destruction (any of the four
+// pipelines), then the allocator colors the interference graph with K
+// colors, spilling optimistically à la Briggs until the graph colors.
+//
+// The allocator is scratch-backed: interference construction, live-range
+// fragment discovery, and spill-cost estimation run in one combined
+// backward walk over reusable dense tables (see Scratch), so the batch
+// driver's warm steady state allocates nothing beyond the Result. Spill
+// candidates are chosen by Chaitin's cost/degree metric with costs
+// weighted by the static execution-frequency estimate
+// (dom.EstimateFrequenciesInto), the spill-everywhere model whose
+// cost-driven variants Bouchez/Darte/Rastello analyze.
 //
 // Spilled values live in a dedicated function-local spill array, so the
-// allocated code remains executable and is verified by the interpreter.
+// allocated code remains executable and is verified by the interpreter
+// (bench.CheckAgainstOriginal; the -pressure sweep gates on it).
 package regalloc
 
 import (
@@ -16,6 +25,8 @@ import (
 	"fastcoalesce/internal/ifgraph"
 	"fastcoalesce/internal/ir"
 	"fastcoalesce/internal/liveness"
+	"fastcoalesce/internal/obs"
+	"fastcoalesce/internal/reuse"
 )
 
 // Options configures Allocate.
@@ -24,45 +35,100 @@ type Options struct {
 
 	// MaxRounds bounds the build/spill iteration (safety net; 0 = 32).
 	MaxRounds int
+
+	// DomSolver and LiveSolver select the substrate algorithms for the
+	// spill-cost frequencies and the interference liveness. Both are
+	// output-invariant, exactly as in driver.Config.
+	DomSolver  dom.Solver
+	LiveSolver liveness.Solver
+
+	// Obs, when non-nil, records regalloc-build / regalloc-color /
+	// regalloc-spill spans per round. A nil tracer is a free no-op.
+	Obs *obs.Tracer
 }
 
-// Result describes a completed allocation.
+// Result describes an allocation. On success every field is final; on
+// MaxRounds exhaustion Allocate returns the partial Result alongside the
+// error — the round, spill, and pressure counts still describe the work
+// done, and Colors holds the last attempt (failed ranges stay -1).
 type Result struct {
 	// Colors maps each variable to a register in [0, K), or -1 for
 	// variables that do not appear in the final code.
 	Colors []int
 	// SpilledVars counts live ranges sent to memory across all rounds.
 	SpilledVars int
+	// Reloads and Stores count the spill instructions inserted: one
+	// reload (aload) before each use of a spilled range, one store
+	// (astore) after each definition.
+	Reloads int
+	Stores  int
 	// Rounds is the number of build/color attempts.
 	Rounds int
 	// SpillSlots is the size of the spill area.
 	SpillSlots int
+	// ColorsUsed is the number of distinct registers the coloring uses.
+	ColorsUsed int
+	// MaxPressure is the maximum register pressure (simultaneously live
+	// variables) of the input, measured on the first round — before any
+	// spill code changed the code.
+	MaxPressure int
+	// Fragments is the number of live-range fragments in the final code.
+	Fragments int
+	// SpillCost is the total frequency-weighted cost of the spilled
+	// ranges (the objective the candidate heuristic minimizes).
+	SpillCost float64
 }
 
 // Allocate colors f's live ranges with opt.K registers, rewriting f with
 // spill code as needed. f must be φ-free (run a destruction pass first).
+// It is AllocateScratch with cold, private scratch state.
 func Allocate(f *ir.Func, opt Options) (*Result, error) {
+	return AllocateScratch(f, opt, &Scratch{})
+}
+
+// AllocateScratch is Allocate reusing sc's memory across calls. A nil sc
+// is allowed and allocates cold.
+func AllocateScratch(f *ir.Func, opt Options, sc *Scratch) (*Result, error) {
 	if opt.K < 2 {
 		return nil, fmt.Errorf("regalloc: need K >= 2, got %d", opt.K)
+	}
+	if sc == nil {
+		sc = &Scratch{}
 	}
 	maxRounds := opt.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 32
 	}
+	tr := opt.Obs
 	res := &Result{}
-	var spillArr ir.ArrID = ir.NoArr
-	spilled := make(map[ir.VarID]bool)
+	sc.beginAlloc(f.NumVars())
+	spillArr := ir.NoArr
 
 	for {
 		res.Rounds++
-		if res.Rounds > maxRounds {
-			return nil, fmt.Errorf("regalloc: no %d-coloring after %d rounds", opt.K, maxRounds)
+		tr.Begin(obs.PhaseRegallocBuild)
+		pressure := sc.build(f, opt)
+		tr.End(obs.PhaseRegallocBuild)
+		if res.Rounds == 1 {
+			res.MaxPressure = pressure
 		}
-		colors, toSpill := tryColor(f, opt.K, spilled)
+
+		tr.Begin(obs.PhaseRegallocColor)
+		toSpill := sc.color(f, opt.K)
+		tr.End(obs.PhaseRegallocColor)
 		if len(toSpill) == 0 {
-			res.Colors = colors
+			sc.finish(f, res)
 			return res, nil
 		}
+		if res.Rounds >= maxRounds {
+			// Return the partial result instead of discarding the stats:
+			// the caller still learns how many rounds ran, what was
+			// spilled, and which ranges the last attempt failed on.
+			sc.finish(f, res)
+			return res, fmt.Errorf("regalloc: no %d-coloring after %d rounds", opt.K, maxRounds)
+		}
+
+		tr.Begin(obs.PhaseRegallocSpill)
 		if spillArr == ir.NoArr {
 			spillArr = f.NewArr("spill")
 		}
@@ -70,91 +136,79 @@ func Allocate(f *ir.Func, opt Options) (*Result, error) {
 			slot := res.SpillSlots
 			res.SpillSlots++
 			res.SpilledVars++
-			spilled[v] = true
+			res.SpillCost += sc.cost[v]
+			sc.markSpilled(v)
+			temps, reloads, stores := insertSpillCode(f, v, spillArr, slot)
+			res.Reloads += reloads
+			res.Stores += stores
 			// Reload temporaries are unspillable (spilling a one-instr
-			// range cannot reduce pressure and would not terminate).
-			for _, t := range insertSpillCode(f, v, spillArr, slot) {
-				spilled[t] = true
+			// range cannot reduce pressure and would not terminate); the
+			// tinyRange check catches them structurally and the stamp
+			// keeps the candidate scan cheap.
+			for _, t := range temps {
+				sc.markSpilled(t)
 			}
 		}
 		f.ArrLens[spillArr] = res.SpillSlots
+		tr.End(obs.PhaseRegallocSpill)
 	}
 }
 
-// tryColor builds the interference graph, runs Briggs-style optimistic
-// simplify/select, and returns either a complete coloring or the live
-// ranges to spill. Variables already spilled are never chosen again
-// (their new ranges are tiny; choosing them would loop forever).
-func tryColor(f *ir.Func, k int, spilled map[ir.VarID]bool) (colors []int, toSpill []ir.VarID) {
+// color runs Briggs-style optimistic simplify/select over the graph the
+// last build produced, filling sc.colors and returning the live ranges
+// select failed to color (empty on success). Simplify maintains a
+// low-degree worklist instead of rescanning all nodes per pass; when the
+// worklist runs dry it optimistically pushes the candidate with the
+// lowest cost/(degree+1), skipping already-spilled and tiny ranges.
+func (sc *Scratch) color(f *ir.Func, k int) []ir.VarID {
 	nv := f.NumVars()
-	live := liveness.Compute(f)
-	g := ifgraph.Build(f, live, ifgraph.BuildOptions{})
-
-	// Spill costs: uses+defs weighted by loop depth (10^depth), the
-	// classic Chaitin estimate.
-	cost := make([]float64, nv)
-	appears := make([]bool, nv)
-	depth := dom.New(f).FindLoops().Depth
-	for _, b := range f.Blocks {
-		w := 1.0
-		for d := int32(0); d < depth[b.ID]; d++ {
-			w *= 10
-		}
-		for i := range b.Instrs {
-			in := &b.Instrs[i]
-			if in.Op.HasDef() {
-				cost[in.Def] += w
-				appears[in.Def] = true
-			}
-			for _, a := range in.Args {
-				cost[a] += w
-				appears[a] = true
-			}
-		}
-	}
-
-	// Simplify: remove low-degree nodes first; when stuck, optimistically
-	// push the cheapest spill candidate (Briggs).
-	degree := make([]int, nv)
-	removed := make([]bool, nv)
+	degree := sc.degree
+	removed := reuse.Zeroed(sc.removed, nv)
+	sc.removed = removed
+	stack := sc.stack[:0]
+	low := sc.low[:0]
 	nodes := 0
 	for v := 0; v < nv; v++ {
-		if appears[v] {
-			degree[v] = g.Degree(int32(v))
+		if sc.appears[v] {
 			nodes++
+			if int(degree[v]) < k {
+				low = append(low, ir.VarID(v))
+			}
 		} else {
 			removed[v] = true
 		}
 	}
-	stack := make([]ir.VarID, 0, nodes)
 	remove := func(v ir.VarID) {
 		removed[v] = true
 		stack = append(stack, v)
-		for _, n := range g.Neighbors(int32(v)) {
+		for _, n := range sc.adj[v] {
 			if !removed[n] {
 				degree[n]--
+				if int(degree[n]) == k-1 {
+					low = append(low, ir.VarID(n))
+				}
 			}
 		}
 	}
+	epoch := sc.spillEpoch
 	for len(stack) < nodes {
-		progress := false
-		for v := 0; v < nv; v++ {
-			if !removed[v] && degree[v] < k {
-				remove(ir.VarID(v))
-				progress = true
+		if len(low) > 0 {
+			v := low[len(low)-1]
+			low = low[:len(low)-1]
+			if !removed[v] {
+				remove(v)
 			}
-		}
-		if progress {
 			continue
 		}
-		// Blocked: push the best spill candidate optimistically.
+		// Blocked: push the best spill candidate optimistically (Briggs —
+		// it may still color if its neighbors end up sharing registers).
 		best := ir.VarID(-1)
 		bestScore := 0.0
 		for v := 0; v < nv; v++ {
-			if removed[v] || spilled[ir.VarID(v)] {
+			if removed[v] || sc.spilled[v] == epoch || sc.tinyRange(ir.VarID(v)) {
 				continue
 			}
-			score := cost[v] / float64(degree[v]+1)
+			score := sc.cost[v] / float64(degree[v]+1)
 			if best < 0 || score < bestScore {
 				best, bestScore = ir.VarID(v), score
 			}
@@ -171,28 +225,30 @@ func tryColor(f *ir.Func, k int, spilled map[ir.VarID]bool) (colors []int, toSpi
 		}
 		remove(best)
 	}
+	sc.low = low
 
-	// Select: pop in reverse, assigning the lowest color not used by an
-	// already-colored neighbor; failures become spills.
-	colors = make([]int, nv)
+	// Select: pop in reverse, assigning the lowest register not used by
+	// an already-colored neighbor; failures become the next spill set.
+	colors := reuse.Slice(sc.colors, nv)
+	sc.colors = colors
 	for v := range colors {
 		colors[v] = -1
 	}
-	inUse := make([]bool, k)
+	inUse := reuse.Zeroed(sc.inUse, k)
+	sc.inUse = inUse
+	toSpill := sc.toSpill[:0]
 	for i := len(stack) - 1; i >= 0; i-- {
 		v := stack[i]
-		for c := range inUse {
-			inUse[c] = false
-		}
-		for _, n := range g.Neighbors(int32(v)) {
+		clear(inUse)
+		for _, n := range sc.adj[v] {
 			if c := colors[n]; c >= 0 {
 				inUse[c] = true
 			}
 		}
-		assigned := -1
+		assigned := int32(-1)
 		for c := 0; c < k; c++ {
 			if !inUse[c] {
-				assigned = c
+				assigned = int32(c)
 				break
 			}
 		}
@@ -202,55 +258,36 @@ func tryColor(f *ir.Func, k int, spilled map[ir.VarID]bool) (colors []int, toSpi
 		}
 		colors[v] = assigned
 	}
-	return colors, toSpill
+	sc.stack = stack
+	sc.toSpill = toSpill
+	return toSpill
 }
 
-// insertSpillCode rewrites v as a memory-resident value: a store follows
-// every definition and a fresh temporary is loaded before every use, so
-// v's long live range becomes many tiny ones. It returns the temporaries
-// it created.
-func insertSpillCode(f *ir.Func, v ir.VarID, arr ir.ArrID, slot int) []ir.VarID {
-	var temps []ir.VarID
-	for _, b := range f.Blocks {
-		var out []ir.Instr
-		for i := range b.Instrs {
-			in := b.Instrs[i]
-			usesV := false
-			for _, a := range in.Args {
-				if a == v {
-					usesV = true
-					break
-				}
-			}
-			if usesV {
-				t := f.NewVar(fmt.Sprintf("%s.rld", f.VarNames[v]))
-				idx := f.NewVar("")
-				temps = append(temps, t, idx)
-				out = append(out,
-					ir.Instr{Op: ir.OpConst, Def: idx, Const: int64(slot)},
-					ir.Instr{Op: ir.OpALoad, Def: t, Args: []ir.VarID{idx}, Arr: arr})
-				for ai, a := range in.Args {
-					if a == v {
-						in.Args[ai] = t
-					}
-				}
-			}
-			out = append(out, in)
-			if in.Op.HasDef() && in.Def == v {
-				idx := f.NewVar("")
-				temps = append(temps, idx)
-				out = append(out,
-					ir.Instr{Op: ir.OpConst, Def: idx, Const: int64(slot)},
-					ir.Instr{Op: ir.OpAStore, Args: []ir.VarID{idx, v}, Arr: arr})
-			}
+// finish copies the scratch coloring into the Result and fills the
+// derived statistics.
+func (sc *Scratch) finish(f *ir.Func, res *Result) {
+	nv := f.NumVars()
+	colors := make([]int, nv)
+	clear(sc.inUse)
+	used := 0
+	for v := range colors {
+		c := int(sc.colors[v])
+		colors[v] = c
+		if c >= 0 && !sc.inUse[c] {
+			sc.inUse[c] = true
+			used++
 		}
-		b.Instrs = out
 	}
-	return temps
+	res.Colors = colors
+	res.ColorsUsed = used
+	res.Fragments = len(sc.frags)
 }
 
 // VerifyAllocation checks that the coloring is a proper coloring of f's
-// interference graph with at most K colors.
+// interference graph with at most K colors. It deliberately rebuilds the
+// graph through ifgraph.Build — an independent construction — so every
+// verified allocation also cross-checks the allocator's own combined
+// fragment/interference walk.
 func VerifyAllocation(f *ir.Func, colors []int, k int) error {
 	live := liveness.Compute(f)
 	g := ifgraph.Build(f, live, ifgraph.BuildOptions{})

@@ -1,0 +1,112 @@
+package regalloc
+
+import (
+	"fastcoalesce/internal/dom"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/liveness"
+	"fastcoalesce/internal/reuse"
+)
+
+// Scratch holds the reusable state of one allocator instance: the
+// substrate analyses (dominators for spill-cost frequencies, liveness for
+// interference), the interference graph (triangular dedup bit matrix plus
+// adjacency lists), the backward-walk state that discovers live-range
+// fragments, and the simplify/select tables. The zero value is ready to
+// use; a warm Scratch makes the no-spill allocation path allocation-free
+// except for the returned Result (pinned by an AllocsPerRun guard).
+//
+// The spilled marks use the generation-stamp idiom (ARCHITECTURE.md):
+// each Allocate call bumps spillEpoch instead of clearing the table, and
+// a variable counts as spilled only while its stamp equals the current
+// epoch. Stale stamps from earlier calls are always smaller and never
+// collide (the table is wiped on the 2^32-call wraparound).
+//
+// Concurrency: a Scratch belongs to one goroutine; the batch driver keeps
+// one per worker. The Result returned by AllocateScratch is freshly
+// allocated and independent of the Scratch.
+type Scratch struct {
+	dom  dom.Tree
+	live liveness.Scratch
+	freq dom.FreqScratch
+
+	// Interference graph over the variable namespace: adjacency lists
+	// plus a triangular bit matrix that dedups edge insertion, exactly
+	// the §4 representation ifgraph uses (VerifyAllocation rebuilds the
+	// graph through ifgraph.Build, so the two constructions cross-check
+	// each other on every verified allocation).
+	adj    [][]int32
+	matrix []uint64
+
+	// Backward-walk state: the dense list of currently-live variables,
+	// each variable's position in it (-1 when dead), and the instruction
+	// index where the walk last saw it used (its death point).
+	liveList []ir.VarID
+	livePos  []int32
+	death    []int32
+
+	// Live-range fragments and their per-variable aggregates (count and
+	// total length), recorded by the same walk.
+	frags     []Fragment
+	fragCount []int32
+	fragLen   []int32
+
+	// Spill costs and coloring state.
+	cost    []float64
+	appears []bool
+	degree  []int32
+	removed []bool
+	stack   []ir.VarID
+	low     []ir.VarID // low-degree simplify worklist
+	toSpill []ir.VarID
+	colors  []int32
+	inUse   []bool
+
+	spilled    []uint32 // fc:stamp spillEpoch
+	spillEpoch uint32   // fc:epoch
+}
+
+// beginAlloc opens one Allocate call: a new spill generation covering
+// every round of the call (marks accumulate across rounds; the next call
+// invalidates them all with one bump).
+func (sc *Scratch) beginAlloc(nv int) {
+	sc.spillEpoch++
+	if sc.spillEpoch == 0 { // uint32 wraparound: ancient stamps could collide
+		clear(sc.spilled[:cap(sc.spilled)])
+		sc.spillEpoch = 1
+	}
+	sc.spilled = reuse.Slice(sc.spilled, nv)
+}
+
+// markSpilled stamps v as spilled in the current call, growing the table
+// for variables created by spill rewriting (stale values in reused
+// capacity carry older epochs and read as unspilled).
+func (sc *Scratch) markSpilled(v ir.VarID) {
+	if int(v) >= len(sc.spilled) {
+		sc.spilled = reuse.Slice(sc.spilled, int(v)+1)
+	}
+	sc.spilled[v] = sc.spillEpoch
+}
+
+// addEdge records that variables i and j interfere, deduplicating
+// through the triangular bit matrix.
+func (sc *Scratch) addEdge(i, j int32) {
+	if i == j {
+		return
+	}
+	if i < j {
+		i, j = j, i
+	}
+	idx := int(i)*(int(i)-1)/2 + int(j)
+	w, bit := idx>>6, uint(idx)&63
+	if sc.matrix[w]&(1<<bit) != 0 {
+		return
+	}
+	sc.matrix[w] |= 1 << bit
+	sc.adj[i] = append(sc.adj[i], j)
+	sc.adj[j] = append(sc.adj[j], i)
+}
+
+// LastFragments returns the live-range fragments of the most recent
+// build, ordered by block and descending position within each block. The
+// slice aliases the Scratch and is invalidated by the next allocation.
+func (sc *Scratch) LastFragments() []Fragment { return sc.frags }

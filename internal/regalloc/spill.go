@@ -1,0 +1,74 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"fastcoalesce/internal/ir"
+)
+
+// insertSpillCode rewrites v as a memory-resident value: a store follows
+// every definition and a fresh temporary is loaded before every use, so
+// v's long live range becomes many tiny ones (the spill-everywhere
+// model). Blocks that never mention v are left untouched, instruction
+// slice and all. It returns the temporaries it created plus the reload
+// and store counts.
+func insertSpillCode(f *ir.Func, v ir.VarID, arr ir.ArrID, slot int) (temps []ir.VarID, reloads, stores int) {
+	for _, b := range f.Blocks {
+		touched := false
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.HasDef() && in.Def == v {
+				touched = true
+				break
+			}
+			for _, a := range in.Args {
+				if a == v {
+					touched = true
+					break
+				}
+			}
+			if touched {
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		var out []ir.Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			usesV := false
+			for _, a := range in.Args {
+				if a == v {
+					usesV = true
+					break
+				}
+			}
+			if usesV {
+				t := f.NewVar(fmt.Sprintf("%s.rld", f.VarNames[v]))
+				idx := f.NewVar("")
+				temps = append(temps, t, idx)
+				reloads++
+				out = append(out,
+					ir.Instr{Op: ir.OpConst, Def: idx, Const: int64(slot)},
+					ir.Instr{Op: ir.OpALoad, Def: t, Args: []ir.VarID{idx}, Arr: arr})
+				for ai, a := range in.Args {
+					if a == v {
+						in.Args[ai] = t
+					}
+				}
+			}
+			out = append(out, in)
+			if in.Op.HasDef() && in.Def == v {
+				idx := f.NewVar("")
+				temps = append(temps, idx)
+				stores++
+				out = append(out,
+					ir.Instr{Op: ir.OpConst, Def: idx, Const: int64(slot)},
+					ir.Instr{Op: ir.OpAStore, Args: []ir.VarID{idx, v}, Arr: arr})
+			}
+		}
+		b.Instrs = out
+	}
+	return temps, reloads, stores
+}
