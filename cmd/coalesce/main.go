@@ -9,6 +9,9 @@
 //	coalesce -algo briggs* -dump-ssa -run "1,2" kernel.kl
 //	coalesce -batch dir/ -jobs 8 -stats
 //	coalesce -batch dir/ -serve 127.0.0.1:8080
+//	coalesce -stream -n 1000000 -families phi-web,gen -jobs 4
+//	coalesce -spool corpus.spool -n 100000
+//	coalesce -stream -spool corpus.spool -algo briggs*
 //
 // Flags:
 //
@@ -38,6 +41,20 @@
 //	          from the result cache, so the load becomes the warm-hit path
 //	-interval pause between -serve rounds (default 1s)
 //	-rounds   stop -serve after this many rounds (0 = until a signal)
+//	-stream   streamed mode: pull a generated corpus (or a -spool file)
+//	          through the bounded-memory engine — jobs are synthesized on
+//	          demand and results fold into a streaming reducer, so memory
+//	          stays O(workers × chunk) at any corpus size
+//	-spool    without -stream: write the generated corpus to this file in
+//	          the append-only spool format; with -stream: replay the file
+//	          instead of generating
+//	-n        corpus size for -stream / -spool generation (default 100000)
+//	-families comma-separated corpus families (famgen names plus "gen")
+//	          for -stream/-spool generation; empty means all
+//	-seed     corpus seed for -stream/-spool generation
+//	-chunk    jobs claimed per scheduler pull in -stream (0 = default 64)
+//	-checkevery  with -stream and -check: audit only every Nth job
+//	          (0 or 1 = audit every job)
 package main
 
 import (
@@ -56,6 +73,7 @@ import (
 	"time"
 
 	"fastcoalesce/internal/analysis"
+	"fastcoalesce/internal/bench"
 	"fastcoalesce/internal/cache"
 	"fastcoalesce/internal/core"
 	"fastcoalesce/internal/dom"
@@ -101,6 +119,13 @@ func realMain() error {
 	serve := flag.String("serve", "", "monitored service mode: serve /metrics etc. on this address while replaying the -batch jobs (cache-aware with -cachemb)")
 	interval := flag.Duration("interval", time.Second, "pause between -serve rounds")
 	rounds := flag.Int("rounds", 0, "stop -serve after this many rounds (0 = until SIGINT/SIGTERM)")
+	stream := flag.Bool("stream", false, "streamed mode: run a generated corpus (or a -spool file) through the bounded-memory engine")
+	spool := flag.String("spool", "", "spool file: written from the generated corpus without -stream, replayed with -stream")
+	corpusN := flag.Int64("n", 100_000, "corpus size for -stream / -spool generation")
+	families := flag.String("families", "", "comma-separated corpus families for -stream/-spool generation (empty = all)")
+	seed := flag.Int64("seed", 0, "corpus seed for -stream/-spool generation")
+	chunk := flag.Int("chunk", 0, "jobs claimed per scheduler pull in -stream (0 = default)")
+	checkEvery := flag.Int("checkevery", 0, "with -stream and -check: audit only every Nth job (0/1 = every job)")
 	flag.Parse()
 
 	check, err := analysis.ParseLevel(*checkName)
@@ -121,6 +146,17 @@ func realMain() error {
 		regallocK = *k
 	}
 
+	if *stream || *spool != "" {
+		if *batch != "" || *serve != "" {
+			return fmt.Errorf("-stream/-spool and -batch/-serve are mutually exclusive")
+		}
+		fams := splitList(*families)
+		if !*stream {
+			return writeSpool(*spool, *corpusN, fams, *seed)
+		}
+		return runStreamMode(*spool, *corpusN, fams, *seed, *algo, *jobs,
+			*chunk, *checkEvery, check, *trace, solvers, regallocK)
+	}
 	if *serve != "" {
 		if *batch == "" {
 			return fmt.Errorf("-serve needs -batch <dir> to know what to compile")
@@ -516,6 +552,112 @@ func runBatch(dir, algoName string, workers int, stats bool, check analysis.Leve
 	if bad > 0 || findings > 0 {
 		return fmt.Errorf("%d of %d functions failed, %d audit findings",
 			bad, len(batchJobs), findings)
+	}
+	return nil
+}
+
+// splitList parses a comma-separated flag value, dropping empty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// writeSpool synthesizes the generated corpus and writes it to path in
+// the append-only spool record format, so a later -stream -spool run
+// (possibly on another machine) replays the identical jobs.
+func writeSpool(path string, n int64, families []string, seed int64) error {
+	src, err := bench.NewCorpusSource(bench.CorpusSpec{N: n, Families: families, Seed: seed})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sw, err := driver.NewSpoolWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := int64(0); i < n; i++ {
+		if err := sw.WriteJob(src.JobAt(i)); err != nil {
+			f.Close()
+			return fmt.Errorf("spooling job %d: %w", i, err)
+		}
+	}
+	err = sw.Flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing spool %s: %w", path, err)
+	}
+	fmt.Printf("spooled %d jobs to %s\n", sw.Count(), path)
+	return nil
+}
+
+// runStreamMode pulls jobs from a generator-backed corpus (or a spool
+// file) through the streaming engine and prints the reducer's table.
+// Memory stays bounded by workers × chunk no matter how large the
+// corpus is; SIGINT/SIGTERM stops pulling and drains in-flight work.
+func runStreamMode(spoolPath string, n int64, families []string, seed int64, algoName string, workers, chunk, checkEvery int, check analysis.Level, tracePath string, solvers solverChoice, regallocK int) error {
+	algo, err := driver.ParseAlgo(algoName)
+	if err != nil {
+		return err
+	}
+	var src driver.JobSource
+	var spoolSrc *driver.SpoolSource
+	if spoolPath != "" {
+		if spoolSrc, err = driver.OpenSpool(spoolPath); err != nil {
+			return err
+		}
+		defer spoolSrc.Close()
+		src = spoolSrc
+	} else {
+		cs, err := bench.NewCorpusSource(bench.CorpusSpec{N: n, Families: families, Seed: seed})
+		if err != nil {
+			return err
+		}
+		src = cs
+	}
+	rec, closeRec, err := buildRecorder(tracePath, false)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := driver.Config{
+		Algo: algo, Workers: workers, Check: check, Obs: rec,
+		DomSolver: solvers.dom, LiveSolver: solvers.live, RegallocK: regallocK,
+	}
+	red := driver.NewStreamStats()
+	rep := driver.RunStream(ctx, src, cfg, driver.StreamOptions{
+		Chunk: chunk, CheckEvery: checkEvery,
+	}, red)
+	fmt.Print(red.Table(rep, algo, regallocK))
+	if err := closeRec(); err != nil {
+		return err
+	}
+	if spoolSrc != nil {
+		if err := spoolSrc.Err(); err != nil {
+			return fmt.Errorf("reading spool %s: %w", spoolPath, err)
+		}
+	}
+	g := red.Global()
+	if g.Errors > 0 {
+		return fmt.Errorf("%d of %d streamed jobs failed", g.Errors, g.Jobs)
+	}
+	if g.CheckFindings > 0 {
+		return fmt.Errorf("%d audit findings across %d audited jobs", g.CheckFindings, g.Checked)
+	}
+	if rep.Skipped > 0 {
+		return fmt.Errorf("cancelled: %d jobs skipped after %d processed", rep.Skipped, rep.Processed)
 	}
 	return nil
 }

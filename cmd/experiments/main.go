@@ -14,6 +14,9 @@
 //	experiments -throughput     # batch-compilation throughput study
 //	experiments -audit          # checker-overhead study (internal/analysis)
 //	experiments -traceoverhead  # observability-overhead study (internal/obs)
+//	experiments -corpus         # streamed-corpus sweep: 10⁶ generated functions
+//	                            # per pipeline through the bounded-memory engine
+//	experiments -corpus -n 1000000 -o BENCH_10.json -label BENCH_10
 //	experiments -benchjson -o BENCH_4.json   # machine-readable perf baseline
 //	experiments -cpuprofile cpu.out -table 2 # pprof any study
 package main
@@ -25,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"fastcoalesce/internal/analysis"
@@ -56,6 +60,16 @@ func realMain() (err error) {
 	audit := flag.Bool("audit", false, "run the checker-overhead study instead")
 	traceOverhead := flag.Bool("traceoverhead", false, "run the observability-overhead study instead")
 	checkName := flag.String("check", "none", "audit level for driver-based studies: none | fast | full")
+	corpus := flag.Bool("corpus", false, "run the streamed-corpus sweep instead (bounded-memory engine, all four pipelines)")
+	corpusN := flag.Int64("n", 1_000_000, "corpus size per pipeline for -corpus")
+	families := flag.String("families", "", "comma-separated corpus families for -corpus (empty = all)")
+	seed := flag.Int64("seed", 0, "corpus seed for -corpus")
+	chunk := flag.Int("chunk", 0, "jobs claimed per scheduler pull for -corpus (0 = default)")
+	workers := flag.Int("workers", 0, "worker count for -corpus (0 = one per CPU)")
+	checkEvery := flag.Int("checkevery", 4096, "audit every Nth -corpus job at the full level (0 = off)")
+	spotCheck := flag.Int("spotcheck", 5, "differential samples per pipeline replayed through the batch path for -corpus (0 = off)")
+	schedN := flag.Int64("schedn", 2048, "scheduler-microbenchmark corpus size for -corpus (0 = skip)")
+	memcap := flag.Int("memcap", 0, "fail -corpus if peak heap exceeds this many MiB (0 = no cap)")
 	benchjson := flag.Bool("benchjson", false, "emit the machine-readable perf baseline (BENCH_*.json) instead")
 	label := flag.String("label", "BENCH_3", "baseline label recorded in the -benchjson report")
 	out := flag.String("o", "", "write -benchjson output to this file (default stdout)")
@@ -94,6 +108,13 @@ func realMain() (err error) {
 	}
 
 	switch {
+	case *corpus:
+		return runCorpus(corpusConfig{
+			n: *corpusN, families: *families, seed: *seed,
+			chunk: *chunk, workers: *workers, k: *alloc, checkEvery: *checkEvery,
+			spotCheck: *spotCheck, schedN: *schedN, memcapMiB: *memcap,
+			label: *label, out: *out,
+		})
 	case *benchjson:
 		return runBenchJSON(*label, *repeat, *out)
 	case *scaling:
@@ -480,6 +501,85 @@ func runTraceOverhead(repeat int) error {
 		fmt.Printf("%16s %14v %8.2fx %10d\n",
 			c.name, best.Round(time.Microsecond), float64(best)/float64(base), events)
 	}
+	return nil
+}
+
+// corpusConfig carries the -corpus flags.
+type corpusConfig struct {
+	n          int64
+	families   string
+	seed       int64
+	chunk      int
+	workers    int
+	k          int
+	checkEvery int
+	spotCheck  int
+	schedN     int64
+	memcapMiB  int
+	label, out string
+}
+
+// runCorpus runs the streamed-corpus sweep: n generated functions per
+// pipeline pulled through the bounded-memory engine, per-family
+// aggregates from the streaming reducer, a differential spot check
+// replaying sampled indices through the batch path, and the scheduler
+// contention microbenchmark (single-counter claims vs chunked claims
+// with stealing). With -o it writes a corpus-only baseline report —
+// the committed BENCH_10.json.
+func runCorpus(c corpusConfig) error {
+	var fams []string
+	for _, part := range strings.Split(c.families, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			fams = append(fams, part)
+		}
+	}
+	famDesc := "all"
+	if len(fams) > 0 {
+		famDesc = strings.Join(fams, ",")
+	}
+	fmt.Printf("Streamed-corpus sweep: %d generated functions per pipeline (families: %s)\n", c.n, famDesc)
+	fmt.Printf("(bounded-memory engine: jobs synthesized on demand, chunked claims with\n")
+	fmt.Printf(" work stealing, results folded into a streaming reducer; host has %d CPU(s))\n\n", runtime.NumCPU())
+	entries, sched, err := bench.RunCorpusSweep(bench.CorpusOptions{
+		N: c.n, Families: fams, Seed: c.seed,
+		Chunk: c.chunk, Workers: c.workers, RegallocK: c.k,
+		CheckEvery: c.checkEvery, SpotCheck: c.spotCheck, SchedN: c.schedN,
+		Log: os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	if c.memcapMiB > 0 {
+		limit := int64(c.memcapMiB) << 20
+		for _, e := range entries {
+			if e.Family == "*" && e.PeakHeapB > limit {
+				return fmt.Errorf("%s: peak heap %d bytes exceeds -memcap %d MiB",
+					e.Pipeline, e.PeakHeapB, c.memcapMiB)
+			}
+		}
+		fmt.Printf("memcap: every pipeline stayed under %d MiB\n", c.memcapMiB)
+	}
+	if c.out == "" {
+		return nil
+	}
+	rep := &bench.BenchReport{
+		Schema:    "fastcoalesce-bench/v1",
+		Label:     c.label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Corpus:    entries,
+		Sched:     sched,
+	}
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(c.out, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", c.out, err)
+	}
+	fmt.Printf("wrote %s\n", c.out)
 	return nil
 }
 

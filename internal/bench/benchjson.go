@@ -63,6 +63,8 @@ type BenchReport struct {
 	Cache     []BenchEntry    `json:"cache,omitempty"`    // result-cache off/fill/hit batch costs
 	Serve     []BenchEntry    `json:"serve,omitempty"`    // warm shard-pool submit floor per shard count
 	Pressure  []PressureEntry `json:"pressure,omitempty"` // register-pressure sweep at k=4/8/16/32
+	Corpus    []CorpusEntry   `json:"corpus,omitempty"`   // streamed-corpus sweep (per pipeline × family)
+	Sched     []SchedEntry    `json:"sched,omitempty"`    // scheduler contention microbenchmark
 }
 
 // measureSpan runs body n times and returns per-op time, allocation

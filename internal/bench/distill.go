@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fastcoalesce/internal/analysis"
+	"fastcoalesce/internal/ir"
+	"fastcoalesce/internal/lang"
+)
+
+// Fuzz-corpus distillation: every committed FuzzDestructPipelines seed
+// becomes a named regression workload automatically, so an input the
+// fuzzer once found interesting stays in the deterministic suite
+// forever — no manual copying of crash reproducers into testdata.
+
+// DistilledWorkload is one fuzz seed promoted to a regression input.
+type DistilledWorkload struct {
+	Name    string // "fuzz-" + corpus file name
+	Src     string
+	IR      bool // parses as IR text (else mini-language)
+	PhiForm bool // already in SSA form: Briggs pipelines must skip it
+}
+
+// DistillFuzzCorpus reads a go-fuzz seed-corpus directory (each file:
+// a "go test fuzz v1" header plus one quoted string argument) and
+// returns the entries that parse and verify as compilable functions,
+// sorted by name. Seeds that don't parse are counted in rejected —
+// they are legitimate fuzz inputs (the harness skips them) but not
+// workloads.
+func DistillFuzzCorpus(dir string) (workloads []DistilledWorkload, rejected int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		src, err := parseFuzzV1(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		w := DistilledWorkload{Name: "fuzz-" + e.Name(), Src: src}
+		fn, perr := ir.Parse(src)
+		if perr != nil {
+			if fn, perr = lang.CompileOne(src); perr != nil {
+				rejected++
+				continue
+			}
+		} else {
+			w.IR = true
+		}
+		if fn.Verify() != nil {
+			rejected++
+			continue
+		}
+		w.PhiForm = fn.CountPhis() > 0
+		if w.PhiForm {
+			// Mirror the fuzz harness's pre-audit: φ-form text claims to
+			// already be SSA, and input that flunks the strict-SSA check
+			// is a legitimate fuzz probe, not a workload.
+			if analysis.RunAll(&analysis.Unit{SSA: fn}, analysis.Fast).Failed() {
+				rejected++
+				continue
+			}
+		}
+		workloads = append(workloads, w)
+	}
+	sort.Slice(workloads, func(i, j int) bool { return workloads[i].Name < workloads[j].Name })
+	return workloads, rejected, nil
+}
+
+// parseFuzzV1 extracts the single string argument from a go-fuzz v1
+// corpus file.
+func parseFuzzV1(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	lines := strings.SplitN(string(data), "\n", 3)
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return "", fmt.Errorf("not a go-fuzz v1 corpus file")
+	}
+	arg := strings.TrimSpace(strings.Join(lines[1:], "\n"))
+	if !strings.HasPrefix(arg, "string(") || !strings.HasSuffix(arg, ")") {
+		return "", fmt.Errorf("corpus argument is not string(...)")
+	}
+	return strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(arg, "string("), ")"))
+}

@@ -22,6 +22,15 @@ func TestFamiliesVerify(t *testing.T) {
 		"deep-loops":         func(n int) int { return 2*n + 3 },
 		"diamond-ladder":     func(n int) int { return 4*n + 2 },
 		"irreducible-ladder": func(n int) int { return 3*n + 2 },
+		// PhiWeb clamps n to 2 (one dispatch needs two arms).
+		"phi-web": func(n int) int {
+			if n < 2 {
+				n = 2
+			}
+			return 2*n + 3
+		},
+		"lost-copy-chain": func(n int) int { return 3*n + 2 },
+		"closure-ladder":  func(n int) int { return 4*n + 2 },
 	}
 	for _, fam := range Families() {
 		want, ok := blocksOf[fam.Name]

@@ -30,8 +30,6 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"fastcoalesce/internal/analysis"
@@ -109,6 +107,10 @@ type Job struct {
 	IR   bool
 	Func *ir.Func
 
+	// Family is an optional grouping label (the generator family that
+	// produced the job); streaming reducers aggregate per family.
+	Family string
+
 	// key, when non-nil, is the job's precomputed content address: the
 	// ShardPool canonicalizes once at submit time (it needs the hash to
 	// pick a shard), so the worker skips re-printing the function.
@@ -119,6 +121,7 @@ type Job struct {
 type Result struct {
 	Index   int
 	Name    string
+	Family  string   // Job.Family, carried through for streaming reducers
 	Func    *ir.Func // the rewritten, φ-free function (nil on error)
 	Err     error
 	Metrics FuncMetrics
@@ -263,56 +266,30 @@ func newScratches(cfg Config, workers int) []*Scratch {
 	return scs
 }
 
-// runScratches is the shared engine behind RunCtx and Serve: one batch
-// over a fixed set of per-worker scratches (the pool size is len(scs)).
+// sliceReducer materializes streamed results back into the positional
+// slice the batch API promises. Indices are distinct, so concurrent
+// writes never alias.
+type sliceReducer []Result
+
+func (s sliceReducer) Reduce(r *Result) { s[r.Index] = *r }
+
+// runScratches is the batch adapter behind RunCtx and Serve: it feeds
+// the jobs through the streaming engine as a SliceSource with the
+// original claim discipline (one job per atomic claim, no stealing) and
+// collects results into the positional slice. DrainSource keeps the
+// cancellation contract: every never-claimed job comes back stamped
+// Skipped with the context's cause.
 func runScratches(ctx context.Context, jobs []Job, cfg Config, scs []*Scratch) ([]Result, *Snapshot) {
-	workers := len(scs)
-	cfg.fp = cfg.fingerprint()
-	cfg.Obs.NextGen() // one trace generation per batch
-	bm := newBatchMetrics(cfg)
-	bm.batches.Inc()
 	results := make([]Result, len(jobs))
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	done := ctx.Done()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(sc *Scratch) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				if done != nil {
-					select {
-					case <-done:
-						// Drain: claimed jobs finish, unclaimed jobs are
-						// marked and the loop keeps claiming so every slot
-						// is stamped before the pool exits.
-						results[i] = Result{
-							Index: i, Name: jobs[i].Name,
-							Skipped: true, Err: context.Cause(ctx),
-						}
-						bm.skipped.Inc()
-						continue
-					default:
-					}
-				}
-				bm.inflight.Add(1)
-				results[i] = compileOne(i, jobs[i], cfg, sc)
-				bm.inflight.Add(-1)
-				bm.observe(&results[i])
-			}
-		}(scs[w])
-	}
-	wg.Wait()
+	runStream(ctx, NewSliceSource(jobs), cfg,
+		StreamOptions{Chunk: 1, NoSteal: true, DrainSource: true},
+		sliceReducer(results), scs)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
-	snap := summarize(results, cfg.Algo, workers, wall, int64(ms1.TotalAlloc-ms0.TotalAlloc), cfg.RegallocK)
+	snap := summarize(results, cfg.Algo, len(scs), wall, int64(ms1.TotalAlloc-ms0.TotalAlloc), cfg.RegallocK)
 	return results, snap
 }
 

@@ -1,0 +1,54 @@
+package driver
+
+import "testing"
+
+// TestDequeStealHalves pins the deque mechanics the scheduler builds
+// on: the owner pops from the front in index order, a thief takes the
+// back half with global indices intact, and both views stay disjoint.
+func TestDequeStealHalves(t *testing.T) {
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i].Name = string(rune('a' + i))
+	}
+	var owner, thief deque
+	owner.fill(jobs, 100, len(jobs))
+
+	// Owner consumes two jobs off the front.
+	for want := int64(100); want < 102; want++ {
+		j, idx, ok := owner.pop()
+		if !ok || idx != want || j.Name != jobs[idx-100].Name {
+			t.Fatalf("pop: got (%q,%d,%v), want index %d", j.Name, idx, ok, want)
+		}
+	}
+
+	// Thief takes half of the remaining six: jobs [105,108) move.
+	n, _ := thief.stealFrom(&owner, nil)
+	if n != 3 {
+		t.Fatalf("stole %d jobs, want 3", n)
+	}
+	for want := int64(105); want < 108; want++ {
+		j, idx, ok := thief.pop()
+		if !ok || idx != want || j.Name != jobs[idx-100].Name {
+			t.Fatalf("thief pop: got (%q,%d,%v), want index %d", j.Name, idx, ok, want)
+		}
+	}
+	if _, _, ok := thief.pop(); ok {
+		t.Fatal("thief deque should be empty")
+	}
+
+	// Owner keeps the front segment [102,105).
+	for want := int64(102); want < 105; want++ {
+		j, idx, ok := owner.pop()
+		if !ok || idx != want || j.Name != jobs[idx-100].Name {
+			t.Fatalf("owner pop: got (%q,%d,%v), want index %d", j.Name, idx, ok, want)
+		}
+	}
+	if _, _, ok := owner.pop(); ok {
+		t.Fatal("owner deque should be empty")
+	}
+
+	// Stealing from an empty deque is a clean no-op.
+	if n, _ := thief.stealFrom(&owner, nil); n != 0 {
+		t.Fatalf("stole %d from empty deque", n)
+	}
+}

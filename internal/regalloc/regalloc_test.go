@@ -151,6 +151,53 @@ func TestAllocateOnWorkloadSuite(t *testing.T) {
 	}
 }
 
+// TestAllocateScratchHistoryIndependent pins that a warm Scratch produces
+// byte-identical allocations to a cold one. The batch driver keeps one
+// Scratch per worker, so any dependence on inherited table capacity (for
+// example, spill stamps lost when a mid-call growth reallocates) makes
+// compiled output vary with the worker schedule.
+func TestAllocateScratchHistoryIndependent(t *testing.T) {
+	build := func(src string) *ir.Func {
+		f, err := lang.CompileOne(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssa.Build(f, ssa.Options{Flavor: ssa.Pruned, FoldCopies: true})
+		core.Coalesce(f, core.Options{})
+		return f
+	}
+	// Warm a scratch on a large spilling function so its reused capacity
+	// dwarfs anything the small functions below would allocate cold.
+	warm := &regalloc.Scratch{}
+	big := bench.Generate(7, bench.GenConfig{Stmts: 150, MaxDepth: 4, Scalars: 3, Arrays: 2})
+	if _, err := regalloc.AllocateScratch(build(big.Src), regalloc.Options{K: 4}, warm); err != nil {
+		t.Fatalf("warming allocation: %v", err)
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		w := bench.Generate(seed, bench.GenConfig{Stmts: 40, MaxDepth: 3, Scalars: 2, Arrays: 1})
+		f := build(w.Src)
+		cold := f.Clone()
+		resCold, errCold := regalloc.AllocateScratch(cold, regalloc.Options{K: 4}, &regalloc.Scratch{})
+		reused := f.Clone()
+		resWarm, errWarm := regalloc.AllocateScratch(reused, regalloc.Options{K: 4}, warm)
+		if (errCold == nil) != (errWarm == nil) {
+			t.Fatalf("seed %d: cold err %v, warm err %v", seed, errCold, errWarm)
+		}
+		if errCold != nil {
+			continue
+		}
+		if resCold.SpilledVars != resWarm.SpilledVars || resCold.SpillSlots != resWarm.SpillSlots ||
+			resCold.Rounds != resWarm.Rounds {
+			t.Fatalf("seed %d: cold spilled %d/%d slots in %d rounds, warm %d/%d in %d",
+				seed, resCold.SpilledVars, resCold.SpillSlots, resCold.Rounds,
+				resWarm.SpilledVars, resWarm.SpillSlots, resWarm.Rounds)
+		}
+		if cold.String() != reused.String() {
+			t.Fatalf("seed %d: allocated output differs between cold and warm Scratch", seed)
+		}
+	}
+}
+
 func TestFuzzAllocator(t *testing.T) {
 	seeds := int64(30)
 	if testing.Short() {

@@ -78,11 +78,15 @@ func (sc *Scratch) beginAlloc(nv int) {
 }
 
 // markSpilled stamps v as spilled in the current call, growing the table
-// for variables created by spill rewriting (stale values in reused
-// capacity carry older epochs and read as unspilled).
+// for variables created by spill rewriting. The growth MUST preserve the
+// stamps already written this call — reuse.Slice drops contents when it
+// reallocates, which would let color re-pick already-spilled ranges and
+// make spill decisions depend on the capacity this Scratch happened to
+// inherit from earlier jobs (worker-schedule-dependent output). The
+// zeroed extension reads as unspilled, same as a stale epoch.
 func (sc *Scratch) markSpilled(v ir.VarID) {
-	if int(v) >= len(sc.spilled) {
-		sc.spilled = reuse.Slice(sc.spilled, int(v)+1)
+	if n := int(v) + 1; n > len(sc.spilled) {
+		sc.spilled = append(sc.spilled, make([]uint32, n-len(sc.spilled))...)
 	}
 	sc.spilled[v] = sc.spillEpoch
 }
